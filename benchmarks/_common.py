@@ -1,0 +1,69 @@
+"""Shared configuration and output helpers for the benchmark harness.
+
+Every bench regenerates one table or in-text exhibit of the paper (see
+DESIGN.md's per-experiment index) and writes its rendered table to
+``benchmarks/results/<name>.txt`` in addition to printing it.
+
+Scaling knobs (environment variables), because the substrate is pure
+Python rather than 1999 C code:
+
+``REPRO_BENCH_SCALE``
+    Divisor on the published ISPD98 cell counts (default 32; the paper's
+    instances correspond to scale 1).
+``REPRO_BENCH_STARTS``
+    Independent starts per variant for Tables 1-3 (default 10; paper
+    uses 100).
+``REPRO_BENCH_INSTANCES``
+    Comma-separated suite instances (default ibm01s,ibm02s,ibm03s —
+    the instances Tables 1-3 report).
+``REPRO_BENCH_CONFIGS``
+    Start counts for Tables 4-5 (default 1,2,4,8,16; paper uses
+    1,2,4,8,16,100).
+``REPRO_BENCH_REPS``
+    Repetitions per configuration for Tables 4-5 (default 3; paper 50).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List
+
+from repro.hypergraph import Hypergraph
+from repro.instances import suite_instance
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE", "32"))
+
+
+def bench_starts() -> int:
+    return int(os.environ.get("REPRO_BENCH_STARTS", "10"))
+
+
+def bench_instances() -> List[str]:
+    names = os.environ.get("REPRO_BENCH_INSTANCES", "ibm01s,ibm02s,ibm03s")
+    return [n.strip() for n in names.split(",") if n.strip()]
+
+
+def bench_configs() -> List[int]:
+    raw = os.environ.get("REPRO_BENCH_CONFIGS", "1,2,4,8,16")
+    return [int(x) for x in raw.split(",") if x.strip()]
+
+
+def bench_reps() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPS", "3"))
+
+
+def load_instances() -> Dict[str, Hypergraph]:
+    scale = bench_scale()
+    return {name: suite_instance(name, scale=scale) for name in bench_instances()}
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")

@@ -1,0 +1,80 @@
+"""Ablation: fixed terminals change the problem (Section 2.1).
+
+The paper: "almost all hypergraph partitioning instances [in top-down
+placement] have many vertices fixed in partitions due to terminal
+propagation ... the presence of fixed terminals fundamentally changes
+the nature of the partitioning problem", making instances *easier* —
+the observation their companion DAC-99 paper [9] develops.
+
+This bench fixes a growing fraction of vertices (to the sides a
+reference solution assigns them, emulating terminal propagation) and
+measures flat FM across identical seeds.  Expected shape: as the fixed
+fraction grows, runtime drops and the spread (max-min) of cuts across
+starts shrinks — the search space collapses.
+"""
+
+import random
+
+from _common import bench_scale, bench_starts, emit
+
+from repro.core import FMPartitioner
+from repro.evaluation import ascii_table, run_trials
+from repro.instances import suite_instance
+from repro.multilevel import MLPartitioner
+
+FRACTIONS = [0.0, 0.1, 0.3, 0.5]
+
+
+def test_fixed_terminals(benchmark):
+    hg = suite_instance("ibm02s", scale=bench_scale())
+    starts = bench_starts()
+    reference = MLPartitioner(tolerance=0.1).partition(hg, seed=999).assignment
+    rng = random.Random(7)
+    order = list(range(hg.num_vertices))
+    rng.shuffle(order)
+
+    def run():
+        results = {}
+        for frac in FRACTIONS:
+            fixed = [None] * hg.num_vertices
+            for v in order[: int(frac * hg.num_vertices)]:
+                fixed[v] = reference[v]
+            records = run_trials(
+                [FMPartitioner(tolerance=0.1, name=f"fixed {frac:.0%}")],
+                {"ibm02s": hg},
+                starts,
+                fixed_parts={"ibm02s": fixed},
+            )
+            cuts = [r.cut for r in records]
+            times = [r.runtime_seconds for r in records]
+            results[frac] = {
+                "min": min(cuts),
+                "avg": sum(cuts) / len(cuts),
+                "spread": max(cuts) - min(cuts),
+                "time": sum(times) / len(times),
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"{frac:.0%}",
+            f"{r['min']:g}",
+            f"{r['avg']:.1f}",
+            f"{r['spread']:g}",
+            f"{r['time']:.4f}s",
+        ]
+        for frac, r in results.items()
+    ]
+    emit(
+        "ablation_fixed_terminals",
+        ascii_table(
+            ["fixed fraction", "min cut", "avg cut", "spread", "avg time"],
+            rows,
+        ),
+    )
+
+    # Shape: heavily-fixed instances run faster and vary less.
+    assert results[0.5]["time"] < results[0.0]["time"]
+    assert results[0.5]["spread"] <= results[0.0]["spread"]

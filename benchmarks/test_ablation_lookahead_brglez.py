@@ -1,0 +1,74 @@
+"""Ablation: lookahead gains and the Brglez chance component.
+
+Two claims surrounding the paper's tie-breaking discussion:
+
+1. Hagen/Huang/Kahng (the work behind footnote 3) found that a
+   well-implemented LIFO FM is competitive with Krishnamurthy lookahead
+   gains — the expensive principled tie-break does not clearly pay.
+2. Brglez's design-of-experiments point (Section 3.2): a heuristic's
+   results vary across *isomorphic relabelings* of one instance by an
+   amount comparable to seed-to-seed variation — improvements smaller
+   than that spread are "merely due to chance".
+"""
+
+import statistics
+
+from _common import bench_scale, emit
+
+from repro.core import FMPartitioner, LookaheadFM
+from repro.evaluation import ascii_table
+from repro.instances import ordering_sensitivity, suite_instance
+
+
+def test_lookahead_and_brglez(benchmark):
+    hg = suite_instance("ibm01s", scale=bench_scale())
+
+    def run():
+        la_rows = []
+        results = {}
+        for label, engine in [
+            ("Plain LIFO FM", FMPartitioner(tolerance=0.02)),
+            ("LA-FM depth 2", LookaheadFM(depth=2, tolerance=0.02)),
+            ("LA-FM depth 3", LookaheadFM(depth=3, tolerance=0.02)),
+        ]:
+            cuts = [engine.partition(hg, seed=s).cut for s in range(8)]
+            results[label] = cuts
+            la_rows.append(
+                [label, f"{min(cuts):g}", f"{statistics.mean(cuts):.1f}"]
+            )
+
+        # Brglez: same seed, isomorphic mutants.
+        mutant_cuts = ordering_sensitivity(
+            FMPartitioner(tolerance=0.02), hg, num_mutants=8, seed=0
+        )
+        seed_cuts = results["Plain LIFO FM"]
+        return la_rows, results, mutant_cuts, seed_cuts
+
+    la_rows, results, mutant_cuts, seed_cuts = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    text = ascii_table(["engine", "min cut", "avg cut"], la_rows)
+    text += (
+        "\n\nBrglez chance component (flat FM, 2% balance):"
+        f"\n  across 8 seeds on the frozen instance: "
+        f"min {min(seed_cuts):g}, max {max(seed_cuts):g}, "
+        f"stdev {statistics.pstdev(seed_cuts):.1f}"
+        f"\n  across 8 isomorphic mutants, seed fixed: "
+        f"min {min(mutant_cuts):g}, max {max(mutant_cuts):g}, "
+        f"stdev {statistics.pstdev(mutant_cuts):.1f}"
+    )
+    emit("ablation_lookahead_brglez", text)
+
+    # Lookahead is competitive, not dominant (Hagen/Huang/Kahng).
+    fm_avg = statistics.mean(results["Plain LIFO FM"])
+    la3_avg = statistics.mean(results["LA-FM depth 3"])
+    assert la3_avg <= fm_avg * 2.0
+    assert fm_avg <= la3_avg * 2.0
+    # The mutant spread is a real, nonzero chance component of the same
+    # order as the seed spread.
+    assert len(set(mutant_cuts)) > 1
+    seed_spread = max(seed_cuts) - min(seed_cuts)
+    mutant_spread = max(mutant_cuts) - min(mutant_cuts)
+    assert mutant_spread > 0
+    assert mutant_spread <= max(4 * seed_spread, 8)

@@ -1,0 +1,65 @@
+"""Exhibit C (Section 2.2, footnote 3): gain-bucket insertion order.
+
+Hagen, Huang & Kahng showed that LIFO insertion into gain buckets is
+much preferable to FIFO or random insertion; "since [that] work, all FM
+implementations that we are aware of use LIFO insertion."  This bench
+re-runs that comparison on actual-area instances.
+
+Expected shape: LIFO's average cut is at least as good as both FIFO's
+and random's, and clearly better than the worse of the two.
+"""
+
+from _common import bench_starts, emit, load_instances
+
+from repro.core import FMConfig, FMPartitioner, InsertionOrder
+from repro.evaluation import (
+    ascii_table,
+    avg_cut,
+    group_by,
+    min_avg_cell,
+    run_trials,
+)
+
+
+def test_insertion_order(benchmark):
+    instances = load_instances()
+    starts = bench_starts()
+    partitioners = [
+        FMPartitioner(
+            FMConfig(insertion_order=order),
+            tolerance=0.02,
+            name=f"LIFO-FM/{order.value}",
+        )
+        for order in InsertionOrder
+    ]
+
+    records = benchmark.pedantic(
+        lambda: run_trials(partitioners, instances, starts),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for order in InsertionOrder:
+        name = f"LIFO-FM/{order.value}"
+        row = [order.value]
+        for inst in instances:
+            rs = [
+                r
+                for r in records
+                if r.heuristic == name and r.instance == inst
+            ]
+            row.append(min_avg_cell(rs))
+        rows.append(row)
+    emit(
+        "exhibit_insertion_order",
+        ascii_table(["insertion order"] + list(instances), rows),
+    )
+
+    means = {
+        name[0].split("/")[-1]: avg_cut(rs)
+        for name, rs in group_by(records, "heuristic").items()
+    }
+    assert means["lifo"] <= means["fifo"] * 1.02
+    assert means["lifo"] <= means["random"] * 1.02
+    assert means["lifo"] < max(means["fifo"], means["random"])

@@ -1,0 +1,108 @@
+"""Exhibit E: multi-way partitioning (paper Section 4 open gap).
+
+The paper closes by naming "the difficulty of multi-way partitioning"
+as a fundamental gap.  This bench compares the two standard approaches
+— recursive bisection and direct k-way FM — on cut, connectivity,
+balance and runtime across k, exactly the kind of range-of-contexts
+evaluation Section 2.3 calls for.
+"""
+
+from _common import bench_scale, emit
+
+from repro.core import KWayFM, RecursiveBisection
+from repro.evaluation import ascii_table
+from repro.instances import suite_instance
+
+KS = [2, 4, 8]
+
+
+def test_kway_comparison(benchmark):
+    hg = suite_instance("ibm02s", scale=bench_scale())
+
+    def run():
+        import time
+
+        from repro.core import PartitionK
+        from repro.core.kway import KWayResult
+
+        rows = []
+        results = {}
+        for k in KS:
+            for label, engine in [
+                ("recursive", RecursiveBisection(k, tolerance=0.2)),
+                ("direct", KWayFM(k, tolerance=0.2)),
+            ]:
+                best = None
+                for seed in range(3):
+                    r = engine.partition(hg, seed=seed)
+                    if best is None or r.connectivity < best.connectivity:
+                        best = r
+                results[(k, label)] = best
+            # Hybrid: direct k-way FM refining the recursive solution —
+            # the standard remedy for direct k-way's weak random starts.
+            seeded = results[(k, "recursive")]
+            t0 = time.perf_counter()
+            part = PartitionK(hg, seeded.assignment, k)
+            # Refine inside a window wide enough to accept the seed
+            # (recursive bisection's per-level windows compose into a
+            # slightly different k-way window), so refinement is a pure
+            # improvement step rather than a re-legalization.
+            refine_tol = max(
+                0.2, seeded.max_imbalance() * 2 * (k - 1) / k * 1.1
+            )
+            KWayFM(k, tolerance=refine_tol, objective="connectivity").refine(
+                part
+            )
+            results[(k, "hybrid")] = KWayResult(
+                assignment=part.assignment,
+                k=k,
+                cut=part.cut,
+                connectivity=part.connectivity,
+                part_weights=list(part.part_weights),
+                runtime_seconds=seeded.runtime_seconds
+                + (time.perf_counter() - t0),
+                num_bisections=seeded.num_bisections,
+            )
+            for label in ("recursive", "direct", "hybrid"):
+                best = results[(k, label)]
+                rows.append(
+                    [
+                        str(k),
+                        label,
+                        f"{best.cut:g}",
+                        f"{best.connectivity:g}",
+                        f"{best.max_imbalance():.3f}",
+                        f"{best.runtime_seconds:.3f}s",
+                    ]
+                )
+        return rows, results
+
+    rows, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "exhibit_kway",
+        ascii_table(
+            ["k", "approach", "cut", "connectivity", "max imbalance", "time"],
+            rows,
+        ),
+    )
+
+    # Connectivity grows with k within each approach.
+    for label in ("recursive", "direct", "hybrid"):
+        assert (
+            results[(2, label)].connectivity
+            <= results[(8, label)].connectivity
+        )
+    for k in KS:
+        rec = results[(k, "recursive")].connectivity
+        dire = results[(k, "direct")].connectivity
+        hyb = results[(k, "hybrid")].connectivity
+        # Direct k-way from random starts trails recursive bisection for
+        # k > 2 — the "difficulty of multi-way partitioning" the paper
+        # names as an open gap; it must still be in a sane range.
+        assert dire <= rec * 6
+        # Seeding direct refinement with the recursive solution recovers
+        # (or improves) recursive quality.
+        assert hyb <= rec * 1.05
+    # All solutions respect their k-way balance windows.
+    for (k, label), r in results.items():
+        assert r.max_imbalance() < 1.0

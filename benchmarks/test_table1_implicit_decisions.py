@@ -1,0 +1,89 @@
+"""Table 1: implicit implementation decisions across four engines.
+
+Paper: best/average cuts over 100 independent runs of {Flat LIFO FM,
+Flat CLIP FM, ML LIFO FM, ML CLIP FM} x updates {All-dgain, Nonzero} x
+bias {away, part0, toward}, actual cell areas, 2% balance.
+
+Expected shape (paper Section 2.2):
+
+* the worst (updates, bias) combination inflates the *average* cut of
+  flat engines by startling amounts vs the best combination;
+* stronger engines (ML CLIP > ML LIFO > flat CLIP > flat LIFO)
+  compress that dynamic range but do not erase it.
+"""
+
+from _common import bench_starts, emit, load_instances
+
+from repro.core import FMConfig, FMPartitioner, TieBias, UpdatePolicy
+from repro.evaluation import avg_cut, run_trials, table1_grid
+from repro.multilevel import MLConfig, MLPartitioner
+
+ENGINES = ["Flat LIFO", "Flat CLIP", "ML LIFO", "ML CLIP"]
+VARIANTS = [
+    (u.value, b.value) for u in UpdatePolicy for b in TieBias
+]
+
+
+def _make_partitioner(engine: str, updates: UpdatePolicy, bias: TieBias):
+    fm_cfg = FMConfig(
+        clip="CLIP" in engine, update_policy=updates, tie_bias=bias
+    )
+    name = f"{engine} {updates.value} {bias.value}"
+    if engine.startswith("ML"):
+        return MLPartitioner(
+            MLConfig(fm_config=fm_cfg), tolerance=0.02, name=name
+        )
+    return FMPartitioner(fm_cfg, tolerance=0.02, name=name)
+
+
+def test_table1(benchmark):
+    instances = load_instances()
+    starts = bench_starts()
+    partitioners = [
+        _make_partitioner(engine, updates, bias)
+        for engine in ENGINES
+        for updates in UpdatePolicy
+        for bias in TieBias
+    ]
+
+    records = benchmark.pedantic(
+        lambda: run_trials(partitioners, instances, starts),
+        rounds=1,
+        iterations=1,
+    )
+
+    text = table1_grid(records, ENGINES, VARIANTS, list(instances))
+    emit("table1_implicit_decisions", text)
+
+    # --- shape assertions -------------------------------------------
+    def variant_avg(engine, inst):
+        return {
+            (u.value, b.value): avg_cut(
+                r
+                for r in records
+                if r.heuristic == f"{engine} {u.value} {b.value}"
+                and r.instance == inst
+            )
+            for u in UpdatePolicy
+            for b in TieBias
+        }
+
+    first_instance = next(iter(instances))
+    flat = variant_avg("Flat LIFO", first_instance)
+    ml = variant_avg("ML LIFO", first_instance)
+    flat_range = max(flat.values()) / min(flat.values())
+    ml_range = max(ml.values()) / min(ml.values())
+    # Implicit decisions matter for the flat engine...
+    assert flat_range > 1.05
+    # ...and the multilevel wrapper compresses the dynamic range.
+    assert ml_range < flat_range
+
+    # Engine strength ordering on average-of-averages.
+    def engine_mean(engine):
+        vals = []
+        for inst in instances:
+            vals.extend(variant_avg(engine, inst).values())
+        return sum(vals) / len(vals)
+
+    assert engine_mean("ML LIFO") < engine_mean("Flat LIFO")
+    assert engine_mean("ML CLIP") < engine_mean("Flat CLIP")

@@ -1,0 +1,62 @@
+"""Table 4: multistart evaluation of the leading partitioner, 2% balance.
+
+Paper: hMetis-1.5 run in its default (shmetis) configuration with 1, 2,
+4, 8, 16 and 100 starts (V-cycling the best result), 50 repetitions per
+configuration, reporting (average best cut / average CPU seconds) — the
+runtime-quality tradeoff in the region of practical interest.
+
+Substitution: our MLPartitioner plays hMetis (DESIGN.md); start counts
+and repetitions are scaled by environment knobs.  The shape that must
+hold: average best cut decreases (roughly monotonically) with starts
+while CPU grows roughly linearly, with diminishing quality returns.
+"""
+
+from _common import bench_configs, bench_reps, emit, load_instances
+
+from repro.evaluation import configuration_table, run_configuration_evaluation
+from repro.multilevel import MLPartitioner
+
+TOLERANCE = 0.02
+
+
+def run_table(benchmark, tolerance):
+    instances = load_instances()
+    configs = bench_configs()
+    reps = bench_reps()
+    ml = MLPartitioner(tolerance=tolerance)
+
+    def run():
+        results = {}
+        for name, hg in instances.items():
+            results[name] = run_configuration_evaluation(
+                lambda: ml,
+                hg,
+                name,
+                start_counts=configs,
+                repetitions=reps,
+                vcycle=lambda h, a, s: ml.vcycle(h, a, seed=s),
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    return results, configs, instances
+
+
+def assert_tradeoff_shape(results, configs):
+    for per_cfg in results.values():
+        cuts = [per_cfg[s]["avg_best_cut"] for s in configs]
+        times = [per_cfg[s]["avg_cpu_seconds"] for s in configs]
+        # CPU grows with the number of starts.
+        assert times[-1] > times[0]
+        # Quality improves (or at least never clearly degrades) from the
+        # 1-start to the max-start configuration.
+        assert cuts[-1] <= cuts[0] * 1.02
+        # Best-so-far quality: the best configuration is at least as
+        # good as the single-start configuration.
+        assert min(cuts) <= cuts[0]
+
+
+def test_table4(benchmark):
+    results, configs, _ = run_table(benchmark, TOLERANCE)
+    emit("table4_multistart_2pct", configuration_table(results, configs))
+    assert_tradeoff_shape(results, configs)

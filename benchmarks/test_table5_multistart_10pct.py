@@ -1,0 +1,30 @@
+"""Table 5: multistart evaluation of the leading partitioner, 10% balance.
+
+Same protocol as Table 4 at the looser 45%-55% constraint.  Additional
+cross-table shape: for matching configurations, 10%-tolerance cuts are
+at most (and usually below) the 2%-tolerance cuts, because the looser
+window strictly enlarges the feasible space.
+"""
+
+from _common import bench_configs, emit, load_instances
+from test_table4_multistart_2pct import assert_tradeoff_shape, run_table
+
+from repro.evaluation import configuration_table
+from repro.multilevel import MLPartitioner
+
+TOLERANCE = 0.10
+
+
+def test_table5(benchmark):
+    results, configs, instances = run_table(benchmark, TOLERANCE)
+    emit("table5_multistart_10pct", configuration_table(results, configs))
+    assert_tradeoff_shape(results, configs)
+
+    # Cross-tolerance sanity on the largest configuration: the loose
+    # window should not be clearly worse than the tight one.
+    tight = MLPartitioner(tolerance=0.02)
+    loose = MLPartitioner(tolerance=0.10)
+    name, hg = next(iter(instances.items()))
+    tight_cut = min(tight.partition(hg, seed=s).cut for s in range(3))
+    loose_cut = min(loose.partition(hg, seed=s).cut for s in range(3))
+    assert loose_cut <= tight_cut * 1.1

@@ -1,0 +1,84 @@
+"""Full metaheuristic comparison the way Section 3.2 says it should be done.
+
+Runs a spread of heuristics (trivial baselines, flat FM/CLIP, multilevel
+engines) on one instance, then derives *every* principled reporting
+artifact from the same per-trial records:
+
+1. the traditional (min/avg over N starts) table — for comparability;
+2. expected best-so-far (BSF) values at a grid of CPU budgets;
+3. the non-dominated (cost, runtime) frontier — who is Pareto-optimal;
+4. the speed-dependent ranking diagram — who wins at which budget;
+5. Wilcoxon significance of the headline comparison.
+
+Run:  python examples/methodology_report.py [num_starts]
+"""
+
+import sys
+
+from repro.baselines import BFSGrowthPartitioner, RandomPartitioner
+from repro.core import FMConfig, FMPartitioner
+from repro.evaluation import (
+    expected_bsf_curve,
+    frontier_from_records,
+    group_by,
+    paired_wilcoxon,
+    ranking_diagram,
+    run_trials,
+    summary_by_heuristic,
+)
+from repro.instances import suite_instance
+from repro.multilevel import MLConfig, MLPartitioner
+
+
+def main(num_starts: int = 10) -> None:
+    hg = suite_instance("ibm01s")
+    heuristics = [
+        RandomPartitioner(tolerance=0.02),
+        BFSGrowthPartitioner(tolerance=0.02),
+        FMPartitioner(tolerance=0.02, name="Flat LIFO FM"),
+        FMPartitioner(FMConfig(clip=True), tolerance=0.02, name="Flat CLIP FM"),
+        MLPartitioner(tolerance=0.02, name="ML LIFO FM"),
+        MLPartitioner(
+            MLConfig(fm_config=FMConfig(clip=True)),
+            tolerance=0.02,
+            name="ML CLIP FM",
+        ),
+    ]
+    print(f"ibm01s, {num_starts} independent starts each, 2% balance\n")
+    records = run_trials(heuristics, {"ibm01s": hg}, num_starts)
+
+    print("--- 1. Traditional multistart table ------------------------")
+    print(summary_by_heuristic(records))
+
+    print("\n--- 2. Expected BSF (mean best cut within CPU budget) ------")
+    taus = [0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0]
+    for name, rs in sorted(group_by(records, "heuristic").items()):
+        curve = expected_bsf_curve(rs, taus, num_shuffles=100)
+        cells = "  ".join(
+            f"{c:7.1f}" if c is not None else "      -" for _, c in curve
+        )
+        print(f"{name[0]:32s} {cells}")
+    print(f"{'tau (s)':32s} " + "  ".join(f"{t:7g}" for t in taus))
+
+    print("\n--- 3. Non-dominated (avg cut, avg time) frontier ----------")
+    for p in frontier_from_records(records):
+        print(f"  {p.label:32s} cost={p.cost:8.1f}  time={p.time:.3f}s")
+
+    print("\n--- 4. Speed-dependent ranking diagram ---------------------")
+    diagram = ranking_diagram(records, taus=taus, num_shuffles=100)
+    print(diagram.render())
+    print("\ndominance regions:")
+    for lo, hi, winner in diagram.dominance_regions():
+        print(f"  tau in [{lo:g}, {hi:g}]s: {winner}")
+
+    print("\n--- 5. Significance of the headline claim ------------------")
+    test = paired_wilcoxon(records, "ML CLIP FM", "Flat LIFO FM")
+    print(
+        f"ML CLIP ({test.mean_a:.1f}) vs Flat LIFO ({test.mean_b:.1f}): "
+        f"p = {test.p_value:.4g} -> "
+        f"{'significant' if test.significant else 'NOT significant'}"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10)

@@ -1,0 +1,18 @@
+"""Baseline partitioners: classical comparators and the deliberately
+weak "Reported" FM reconstruction used by Tables 2-3."""
+
+from repro.baselines.annealing import AnnealingPartitioner
+from repro.baselines.kl import KLPartitioner
+from repro.baselines.random_part import BFSGrowthPartitioner, RandomPartitioner
+from repro.baselines.spectral import SpectralPartitioner
+from repro.baselines.weak_fm import WeakFM, weak_config
+
+__all__ = [
+    "AnnealingPartitioner",
+    "BFSGrowthPartitioner",
+    "KLPartitioner",
+    "RandomPartitioner",
+    "SpectralPartitioner",
+    "WeakFM",
+    "weak_config",
+]

@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+Four subcommands mirror a practitioner's workflow::
+
+    python -m repro stats     circuit.hgr
+    python -m repro generate  --cells 2000 --seed 7 -o circuit.hgr
+    python -m repro partition circuit.hgr --engine ml-clip --tolerance 0.02 \
+                              --starts 4 -o circuit.part.2
+    python -m repro evaluate  circuit.hgr --starts 10
+
+``partition`` accepts both hMetis ``.hgr`` and ISPD98 ``.netD`` (with
+optional ``--are``) inputs, writes an hMetis-style solution file, and
+prints cut / balance / runtime.  ``evaluate`` runs the engine ladder and
+prints the traditional table plus the non-dominated frontier — the
+Section 3.2 reporting discipline from the shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import WeakFM
+from repro.core import FMConfig, FMPartitioner, run_multistart
+from repro.core.kway import RecursiveBisection
+from repro.evaluation import (
+    frontier_from_records,
+    run_trials,
+    summary_by_heuristic,
+)
+from repro.hypergraph import (
+    Hypergraph,
+    hypergraph_stats,
+    read_hgr,
+    read_netd,
+    write_hgr,
+)
+from repro.hypergraph.io_fix import read_fix
+from repro.hypergraph.io_solution import write_solution
+from repro.instances import generate_circuit
+from repro.multilevel import MLConfig, MLPartitioner
+
+ENGINES = ("flat-lifo", "flat-clip", "ml-lifo", "ml-clip", "weak")
+
+
+def _load(path: str, are: Optional[str]) -> Hypergraph:
+    if path.endswith((".netD", ".netd", ".net")):
+        return read_netd(path, are)
+    return read_hgr(path)
+
+
+def _make_engine(engine: str, tolerance: float):
+    if engine == "flat-lifo":
+        return FMPartitioner(tolerance=tolerance, name="Flat LIFO FM")
+    if engine == "flat-clip":
+        return FMPartitioner(
+            FMConfig(clip=True), tolerance=tolerance, name="Flat CLIP FM"
+        )
+    if engine == "ml-lifo":
+        return MLPartitioner(tolerance=tolerance, name="ML LIFO FM")
+    if engine == "ml-clip":
+        return MLPartitioner(
+            MLConfig(fm_config=FMConfig(clip=True)),
+            tolerance=tolerance,
+            name="ML CLIP FM",
+        )
+    if engine == "weak":
+        return WeakFM(tolerance=tolerance)
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+# ----------------------------------------------------------------------
+def cmd_stats(args: argparse.Namespace) -> int:
+    hg = _load(args.input, args.are)
+    print(hg)
+    print(hypergraph_stats(hg).summary())
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    hg = generate_circuit(
+        args.cells, seed=args.seed, unit_areas=args.unit_areas
+    )
+    write_hgr(hg, args.output)
+    print(f"wrote {args.output}: {hg}")
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    hg = _load(args.input, args.are)
+    fixed = read_fix(args.fix, hg) if args.fix else None
+    if args.k > 2:
+        if fixed is not None:
+            raise ValueError("--fix is only supported for 2-way partitioning")
+        tol = args.tolerance
+        rb = RecursiveBisection(
+            args.k,
+            tolerance=tol,
+            partitioner_factory=lambda t: _make_engine(args.engine, t),
+        )
+        result = rb.partition(hg, seed=args.seed)
+        print(
+            f"k={args.k} cut={result.cut:g} "
+            f"connectivity={result.connectivity:g} "
+            f"max_imbalance={result.max_imbalance():.3f} "
+            f"time={result.runtime_seconds:.2f}s"
+        )
+        assignment = result.assignment
+    else:
+        engine = _make_engine(args.engine, args.tolerance)
+        ms = run_multistart(
+            engine, hg, args.starts, base_seed=args.seed, fixed_parts=fixed
+        )
+        assignment = ms.best_assignment
+        print(
+            f"{engine.name}: best cut {ms.min_cut:g} over {args.starts} "
+            f"start(s) (avg {ms.avg_cut:.1f}), "
+            f"total time {ms.total_runtime:.2f}s"
+        )
+    if args.output:
+        write_solution(assignment, args.output, hg, k=args.k)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    hg = _load(args.input, args.are)
+    engines = [
+        _make_engine(name, args.tolerance)
+        for name in ("flat-lifo", "flat-clip", "ml-lifo", "ml-clip")
+    ]
+    records = run_trials(engines, {args.input: hg}, args.starts,
+                         base_seed=args.seed)
+    print(summary_by_heuristic(records))
+    print("\nNon-dominated (avg cut, avg time) frontier:")
+    for p in frontier_from_records(records):
+        print(f"  {p.label:28s} cost={p.cost:9.1f}  time={p.time:.4f}s")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run a full campaign on one instance and save records + report."""
+    from pathlib import Path
+
+    from repro.evaluation import CampaignSpec, run_campaign
+
+    hg = _load(args.input, args.are)
+    engines = [
+        _make_engine(name, args.tolerance)
+        for name in ("flat-lifo", "flat-clip", "ml-lifo", "ml-clip")
+    ]
+    spec = CampaignSpec(
+        name=args.name,
+        heuristics=engines,
+        instances={Path(args.input).name: hg},
+        num_starts=args.starts,
+        base_seed=args.seed,
+    )
+    result = run_campaign(spec)
+    out = result.save(args.output_dir)
+    print(result.report())
+    print(f"\nsaved records and report under {out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FM-based hypergraph partitioning for VLSI CAD "
+        "(DAC 1999 methodology reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="print instance statistics")
+    p.add_argument("input")
+    p.add_argument("--are", help=".are area file for .netD inputs")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("generate", help="generate a synthetic netlist")
+    p.add_argument("--cells", type=int, required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--unit-areas", action="store_true")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("partition", help="partition a netlist")
+    p.add_argument("input")
+    p.add_argument("--are", help=".are area file for .netD inputs")
+    p.add_argument("--engine", choices=ENGINES, default="ml-lifo")
+    p.add_argument("--tolerance", type=float, default=0.02)
+    p.add_argument("--starts", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--fix", help="hMetis .fix file of fixed vertices")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_partition)
+
+    p = sub.add_parser(
+        "evaluate", help="compare the engine ladder on one instance"
+    )
+    p.add_argument("input")
+    p.add_argument("--are")
+    p.add_argument("--tolerance", type=float, default=0.02)
+    p.add_argument("--starts", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser(
+        "report",
+        help="run a recorded campaign and save the full Section 3.2 report",
+    )
+    p.add_argument("input")
+    p.add_argument("--are")
+    p.add_argument("--name", default="campaign")
+    p.add_argument("--tolerance", type=float, default=0.02)
+    p.add_argument("--starts", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output-dir", default="campaigns")
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

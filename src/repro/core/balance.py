@@ -1,0 +1,97 @@
+"""Balance constraints for 2-way partitioning.
+
+The paper's convention: a tolerance of 2% means each partition must hold
+between 49% and 51% of total cell area; 10% means between 45% and 55%.
+That is, each part weight lies within ``total * (0.5 +/- tolerance / 2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class BalanceConstraint:
+    """Two-way balance constraint in the paper's percentage convention.
+
+    Parameters
+    ----------
+    total_weight:
+        Total vertex weight (cell area) of the instance.
+    tolerance:
+        Fractional tolerance ``t``; each part must satisfy
+        ``total * (0.5 - t/2) <= weight <= total * (0.5 + t/2)``.
+        ``t = 0.02`` reproduces the paper's "2%" (49%-51%) constraint and
+        ``t = 0.10`` the "10%" (45%-55%) constraint.
+    """
+
+    total_weight: float
+    tolerance: float
+
+    def __post_init__(self) -> None:
+        if self.total_weight < 0:
+            raise ValueError("total_weight must be non-negative")
+        if not 0.0 <= self.tolerance < 1.0:
+            raise ValueError("tolerance must lie in [0, 1)")
+
+    @property
+    def lower_bound(self) -> float:
+        """Minimum legal part weight."""
+        return self.total_weight * (0.5 - self.tolerance / 2.0)
+
+    @property
+    def upper_bound(self) -> float:
+        """Maximum legal part weight."""
+        return self.total_weight * (0.5 + self.tolerance / 2.0)
+
+    @property
+    def slack(self) -> float:
+        """Width of the legal window, ``upper_bound - lower_bound``.
+
+        The corking guard of Section 2.3 skips cells whose area exceeds
+        this slack: such a cell can never legally move once the solution
+        is balanced.
+        """
+        return self.upper_bound - self.lower_bound
+
+    def is_legal(self, part_weights: Sequence[float]) -> bool:
+        """True when both part weights lie inside the window."""
+        lo, hi = self.lower_bound, self.upper_bound
+        return all(lo <= w <= hi for w in part_weights)
+
+    def move_is_legal(
+        self, dest_weight: float, moved_weight: float
+    ) -> bool:
+        """Legality of moving a cell of ``moved_weight`` into a part
+        currently weighing ``dest_weight``.
+
+        For 2-way partitioning the source-side lower bound is implied by
+        the destination-side upper bound (``src' >= lo  <=>  dest' <= hi``),
+        so a single comparison suffices.
+        """
+        return dest_weight + moved_weight <= self.upper_bound
+
+    def violation(self, part_weights: Sequence[float]) -> float:
+        """Total amount by which ``part_weights`` violates the window.
+
+        Zero for legal solutions; used to quantify how far an infeasible
+        initial solution is from legality.
+        """
+        lo, hi = self.lower_bound, self.upper_bound
+        total = 0.0
+        for w in part_weights:
+            if w < lo:
+                total += lo - w
+            elif w > hi:
+                total += w - hi
+        return total
+
+    def distance_from_bounds(self, part_weights: Sequence[float]) -> float:
+        """Smallest margin between any part weight and the window edge.
+
+        Used for the paper's "furthest from violating balance
+        constraints" best-solution tie-break.  Negative when illegal.
+        """
+        lo, hi = self.lower_bound, self.upper_bound
+        return min(min(w - lo, hi - w) for w in part_weights)

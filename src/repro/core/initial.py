@@ -1,0 +1,143 @@
+"""Initial solution generation for 2-way partitioning.
+
+Hauck & Borriello (cited in Section 2.2 of the paper) identify initial
+solution generation as a hidden implementation decision with measurable
+quality effects.  Three generators are provided and selectable via
+``FMConfig.initial_solution``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import List, Optional, Sequence
+
+from repro.core.balance import BalanceConstraint
+from repro.core.config import InitialSolution
+from repro.core.partition import Partition2
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def generate_initial(
+    hypergraph: Hypergraph,
+    balance: BalanceConstraint,
+    method: InitialSolution,
+    rng: random.Random,
+    fixed_parts: Optional[Sequence[Optional[int]]] = None,
+) -> Partition2:
+    """Build an initial :class:`Partition2` with the requested method."""
+    if method is InitialSolution.RANDOM:
+        return Partition2.random_balanced(hypergraph, balance, rng, fixed_parts)
+    if method is InitialSolution.SORTED_AREA:
+        return _sorted_area(hypergraph, balance, fixed_parts)
+    if method is InitialSolution.BFS:
+        return _bfs_growth(hypergraph, balance, rng, fixed_parts)
+    raise ValueError(f"unknown initial solution method {method!r}")
+
+
+def _apply_fixed(
+    hypergraph: Hypergraph,
+    fixed_parts: Optional[Sequence[Optional[int]]],
+) -> tuple:
+    n = hypergraph.num_vertices
+    assignment: List[Optional[int]] = [None] * n
+    fixed = [False] * n
+    weights = [0.0, 0.0]
+    free: List[int] = []
+    for v in range(n):
+        pin = fixed_parts[v] if fixed_parts is not None else None
+        if pin is not None:
+            assignment[v] = pin
+            fixed[v] = True
+            weights[pin] += hypergraph.vertex_weight(v)
+        else:
+            free.append(v)
+    return assignment, fixed, weights, free
+
+
+def _sorted_area(
+    hypergraph: Hypergraph,
+    balance: BalanceConstraint,
+    fixed_parts: Optional[Sequence[Optional[int]]],
+) -> Partition2:
+    """Deterministic generator: cells sorted by descending area, each
+    placed on the currently lighter side (subject to the upper bound).
+
+    Deterministic initial solutions are exactly the kind of implicit
+    choice that makes "average over N starts" reporting meaningless —
+    the generator exists so experiments can measure that effect.
+    """
+    assignment, fixed, weights, free = _apply_fixed(hypergraph, fixed_parts)
+    free.sort(key=lambda v: (-hypergraph.vertex_weight(v), v))
+    hi = balance.upper_bound
+    for v in free:
+        w = hypergraph.vertex_weight(v)
+        first, second = (0, 1) if weights[0] <= weights[1] else (1, 0)
+        side = first if weights[first] + w <= hi else second
+        assignment[v] = side
+        weights[side] += w
+    return Partition2(hypergraph, assignment, fixed)  # type: ignore[arg-type]
+
+
+def _bfs_growth(
+    hypergraph: Hypergraph,
+    balance: BalanceConstraint,
+    rng: random.Random,
+    fixed_parts: Optional[Sequence[Optional[int]]],
+) -> Partition2:
+    """Region growth: BFS from a random seed fills part 0 up to the
+    lower balance bound; all remaining cells go to part 1, with a final
+    greedy rebalance if part 1 overflows."""
+    assignment, fixed, weights, free = _apply_fixed(hypergraph, fixed_parts)
+    free_set = set(free)
+    if not free:
+        return Partition2(hypergraph, assignment, fixed)  # type: ignore[arg-type]
+
+    target = max(balance.lower_bound - weights[0], 0.0)
+    order = list(free)
+    rng.shuffle(order)
+    visited = set()
+    queue: deque = deque()
+    grown = 0.0
+    part0: List[int] = []
+    idx = 0
+    while grown < target and (queue or idx < len(order)):
+        if not queue:
+            while idx < len(order) and order[idx] in visited:
+                idx += 1
+            if idx >= len(order):
+                break
+            queue.append(order[idx])
+            visited.add(order[idx])
+            idx += 1
+        v = queue.popleft()
+        part0.append(v)
+        grown += hypergraph.vertex_weight(v)
+        for e in hypergraph.nets_of(v):
+            for y in hypergraph.pins_of(e):
+                if y in free_set and y not in visited:
+                    visited.add(y)
+                    queue.append(y)
+
+    part0_set = set(part0)
+    for v in free:
+        assignment[v] = 0 if v in part0_set else 1
+        weights[0 if v in part0_set else 1] += hypergraph.vertex_weight(v)
+
+    # Greedy rebalance: if a side exceeds the upper bound, shift the
+    # lightest cells across until legal (or no further progress).
+    hi = balance.upper_bound
+    heavy = 0 if weights[0] > weights[1] else 1
+    if weights[heavy] > hi:
+        movable = sorted(
+            (v for v in free if assignment[v] == heavy),
+            key=hypergraph.vertex_weight,
+        )
+        for v in movable:
+            if weights[heavy] <= hi:
+                break
+            w = hypergraph.vertex_weight(v)
+            assignment[v] = 1 - heavy
+            weights[heavy] -= w
+            weights[1 - heavy] += w
+    return Partition2(hypergraph, assignment, fixed)  # type: ignore[arg-type]

@@ -1,0 +1,124 @@
+"""Partitioning objective functions beyond plain net cut.
+
+The paper's problem statement: "A standard objective function is cut
+size ...; other objectives such as ratio-cut [Wei-Cheng], scaled cost
+[Chan-Schlag-Zien], absorption cut [Sun-Sechen], etc. have also been
+proposed."  These evaluators work on any k-way assignment and are used
+by experiments that compare objective landscapes.
+
+All functions share the signature ``(hypergraph, assignment, k) ->
+float`` and *lower is better* (absorption, which is naturally maximized,
+is returned negated for uniformity — see :func:`absorption_cost`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def _check(hypergraph: Hypergraph, assignment: Sequence[int], k: int) -> None:
+    if len(assignment) != hypergraph.num_vertices:
+        raise ValueError("assignment length mismatch")
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    for v, p in enumerate(assignment):
+        if not 0 <= p < k:
+            raise ValueError(f"vertex {v} assigned to part {p} outside [0,{k})")
+
+
+def cut_cost(
+    hypergraph: Hypergraph, assignment: Sequence[int], k: int = 2
+) -> float:
+    """Weighted net cut (the paper's standard objective)."""
+    _check(hypergraph, assignment, k)
+    return hypergraph.cut_size(assignment)
+
+
+def ratio_cut_cost(
+    hypergraph: Hypergraph, assignment: Sequence[int], k: int = 2
+) -> float:
+    """Wei-Cheng ratio cut: ``cut / prod_p |W_p|`` scaled by total.
+
+    For 2-way: ``cut / (W_0 * W_1)``; generalized to k-way as
+    ``cut / prod(W_p)^(1/k) ...`` — here the standard k-way extension
+    ``sum over parts of cut / W_p`` is used, which reduces to
+    ``cut * W / (W_0 * W_1)`` for k = 2 (a constant multiple of the
+    original definition, hence the same optimizer).
+
+    Empty parts make the objective infinite (they are never desirable
+    under ratio cut).
+    """
+    _check(hypergraph, assignment, k)
+    cut = hypergraph.cut_size(assignment)
+    weights = hypergraph.part_weights(assignment, k)
+    total = 0.0
+    for w in weights:
+        if w <= 0:
+            return float("inf")
+        total += cut / w
+    return total
+
+
+def scaled_cost(
+    hypergraph: Hypergraph, assignment: Sequence[int], k: int = 2
+) -> float:
+    """Chan-Schlag-Zien scaled cost:
+    ``1/(n(k-1)) * sum_p cut_p / |V_p|`` with ``cut_p`` the number of
+    cut nets incident to part ``p`` (vertex counts, per the original
+    spectral formulation).
+    """
+    _check(hypergraph, assignment, k)
+    n = hypergraph.num_vertices
+    counts = [0] * k
+    for p in assignment:
+        counts[p] += 1
+    if any(c == 0 for c in counts):
+        return float("inf")
+
+    cut_by_part: List[float] = [0.0] * k
+    for e in range(hypergraph.num_nets):
+        pins = hypergraph.pins_of(e)
+        parts = {assignment[v] for v in pins}
+        if len(parts) > 1:
+            for p in parts:
+                cut_by_part[p] += hypergraph.net_weight(e)
+    return sum(cut_by_part[p] / counts[p] for p in range(k)) / (n * (k - 1))
+
+
+def absorption_cost(
+    hypergraph: Hypergraph, assignment: Sequence[int], k: int = 2
+) -> float:
+    """Negated Sun-Sechen absorption.
+
+    Absorption rewards parts that *absorb* nets:
+    ``sum_e sum_p (pins_p(e) - 1) / (|e| - 1)`` over nets with >= 2 pins
+    — fully absorbed nets contribute 1, fully scattered nets 0.  The
+    value is negated so that, like every other objective here, lower is
+    better.
+    """
+    _check(hypergraph, assignment, k)
+    total = 0.0
+    for e in range(hypergraph.num_nets):
+        pins = hypergraph.pins_of(e)
+        size = len(pins)
+        if size < 2:
+            continue
+        counts = {}
+        for v in pins:
+            p = assignment[v]
+            counts[p] = counts.get(p, 0) + 1
+        total += hypergraph.net_weight(e) * sum(
+            (c - 1) / (size - 1) for c in counts.values()
+        )
+    return -total
+
+
+OBJECTIVES = {
+    "cut": cut_cost,
+    "ratio_cut": ratio_cut_cost,
+    "scaled_cost": scaled_cost,
+    "absorption": absorption_cost,
+}
+"""Registry of named objectives (all minimized)."""

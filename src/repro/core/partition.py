@@ -1,0 +1,267 @@
+"""Incremental 2-way partition state.
+
+``Partition2`` maintains, under single-vertex moves:
+
+* the assignment vector,
+* per-part total vertex weight,
+* per-net pin counts on each side, and
+* the weighted cut size.
+
+All FM engines, the multilevel refiner and the rollback logic operate on
+this object; its incremental bookkeeping is validated against from-scratch
+recomputation in the test suite (including hypothesis property tests).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.balance import BalanceConstraint
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class Partition2:
+    """A mutable 2-way partition of a hypergraph.
+
+    Parameters
+    ----------
+    hypergraph:
+        The instance being partitioned.
+    assignment:
+        Initial part (0 or 1) per vertex.
+    fixed:
+        Optional per-vertex flag; fixed vertices must never be moved
+        (terminal propagation / pad constraints, cf. paper Section 2.1).
+    """
+
+    __slots__ = (
+        "hypergraph",
+        "assignment",
+        "fixed",
+        "part_weights",
+        "pins_in_part",
+        "cut",
+        "_net_ptr",
+        "_net_pins",
+        "_vtx_ptr",
+        "_vtx_nets",
+        "_net_weights",
+        "_vertex_weights",
+    )
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        assignment: Sequence[int],
+        fixed: Optional[Sequence[bool]] = None,
+    ) -> None:
+        n = hypergraph.num_vertices
+        if len(assignment) != n:
+            raise ValueError("assignment length mismatch")
+        for v, p in enumerate(assignment):
+            if p not in (0, 1):
+                raise ValueError(f"vertex {v} assigned to part {p}; must be 0/1")
+        self.hypergraph = hypergraph
+        self.assignment: List[int] = list(assignment)
+        if fixed is None:
+            self.fixed: List[bool] = [False] * n
+        else:
+            if len(fixed) != n:
+                raise ValueError("fixed length mismatch")
+            self.fixed = list(fixed)
+
+        # Cache raw arrays for the hot paths.
+        (
+            self._net_ptr,
+            self._net_pins,
+            self._vtx_ptr,
+            self._vtx_nets,
+        ) = hypergraph.raw_csr
+        self._net_weights = [hypergraph.net_weight(e) for e in hypergraph.nets()]
+        self._vertex_weights = [
+            hypergraph.vertex_weight(v) for v in hypergraph.vertices()
+        ]
+
+        self.part_weights: List[float] = [0.0, 0.0]
+        for v in range(n):
+            self.part_weights[self.assignment[v]] += self._vertex_weights[v]
+
+        m = hypergraph.num_nets
+        pins0 = [0] * m
+        pins1 = [0] * m
+        self.cut = 0.0
+        for e in range(m):
+            lo, hi = self._net_ptr[e], self._net_ptr[e + 1]
+            c0 = 0
+            for i in range(lo, hi):
+                if self.assignment[self._net_pins[i]] == 0:
+                    c0 += 1
+            c1 = (hi - lo) - c0
+            pins0[e] = c0
+            pins1[e] = c1
+            if c0 > 0 and c1 > 0:
+                self.cut += self._net_weights[e]
+        self.pins_in_part = [pins0, pins1]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def random_balanced(
+        hypergraph: Hypergraph,
+        balance: BalanceConstraint,
+        rng: random.Random,
+        fixed_parts: Optional[Sequence[Optional[int]]] = None,
+    ) -> "Partition2":
+        """Random initial solution respecting ``balance`` when possible.
+
+        Vertices are shuffled and greedily assigned to the side that
+        keeps part weights legal (preferring the lighter side).  With
+        large macros a perfectly legal start may not exist for tight
+        tolerances; the closest-to-balanced greedy assignment is
+        returned in that case (FM passes then operate from slight
+        imbalance, exactly as real testbenches do).
+
+        ``fixed_parts`` optionally pins vertex ``v`` to
+        ``fixed_parts[v]`` (``None`` leaves it free).
+        """
+        n = hypergraph.num_vertices
+        assignment: List[Optional[int]] = [None] * n
+        fixed = [False] * n
+        weights = [0.0, 0.0]
+        free: List[int] = []
+        for v in range(n):
+            pin = fixed_parts[v] if fixed_parts is not None else None
+            if pin is not None:
+                assignment[v] = pin
+                fixed[v] = True
+                weights[pin] += hypergraph.vertex_weight(v)
+            else:
+                free.append(v)
+        rng.shuffle(free)
+        # Macros are placed first (heaviest first) so tight tolerances
+        # stay feasible; ordinary cells keep their random order, which
+        # preserves the independence of multistart initial solutions.
+        macro_cut = max(balance.slack, 0.01 * balance.total_weight)
+        macros = [v for v in free if hypergraph.vertex_weight(v) > macro_cut]
+        macros.sort(key=hypergraph.vertex_weight, reverse=True)
+        rest = [v for v in free if hypergraph.vertex_weight(v) <= macro_cut]
+        hi = balance.upper_bound
+        for v in macros + rest:
+            w = hypergraph.vertex_weight(v)
+            first, second = (0, 1) if weights[0] <= weights[1] else (1, 0)
+            if weights[first] + w <= hi:
+                side = first
+            elif weights[second] + w <= hi:
+                side = second
+            else:
+                side = first  # unavoidable overflow; keep it minimal
+            assignment[v] = side
+            weights[side] += w
+        return Partition2(hypergraph, [p for p in assignment], fixed)  # type: ignore[misc]
+
+    def copy(self) -> "Partition2":
+        """Deep copy (cheap: arrays only)."""
+        clone = Partition2.__new__(Partition2)
+        clone.hypergraph = self.hypergraph
+        clone.assignment = list(self.assignment)
+        clone.fixed = list(self.fixed)
+        clone.part_weights = list(self.part_weights)
+        clone.pins_in_part = [
+            list(self.pins_in_part[0]),
+            list(self.pins_in_part[1]),
+        ]
+        clone.cut = self.cut
+        clone._net_ptr = self._net_ptr
+        clone._net_pins = self._net_pins
+        clone._vtx_ptr = self._vtx_ptr
+        clone._vtx_nets = self._vtx_nets
+        clone._net_weights = self._net_weights
+        clone._vertex_weights = self._vertex_weights
+        return clone
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+    def move(self, v: int) -> None:
+        """Move vertex ``v`` to the opposite part, updating all state.
+
+        Raises ``ValueError`` for fixed vertices.  Balance legality is
+        *not* enforced here — the FM engines decide legality; rollback
+        needs unrestricted moves.
+        """
+        if self.fixed[v]:
+            raise ValueError(f"vertex {v} is fixed")
+        src = self.assignment[v]
+        dst = 1 - src
+        w = self._vertex_weights[v]
+        self.assignment[v] = dst
+        self.part_weights[src] -= w
+        self.part_weights[dst] += w
+
+        pins_src = self.pins_in_part[src]
+        pins_dst = self.pins_in_part[dst]
+        vp, vn = self._vtx_ptr, self._vtx_nets
+        for i in range(vp[v], vp[v + 1]):
+            e = vn[i]
+            f = pins_src[e]
+            t = pins_dst[e]
+            pins_src[e] = f - 1
+            pins_dst[e] = t + 1
+            # Cut transitions: net was cut iff both sides occupied.
+            if t == 0 and f >= 2:
+                self.cut += self._net_weights[e]
+            elif f == 1 and t >= 1:
+                self.cut -= self._net_weights[e]
+
+    # ------------------------------------------------------------------
+    # Gain computation (from scratch; the engines maintain gains
+    # incrementally but seed them from here at the start of each pass)
+    # ------------------------------------------------------------------
+    def gain(self, v: int) -> float:
+        """FM gain of moving ``v``: cut decrease if moved right now."""
+        src = self.assignment[v]
+        dst = 1 - src
+        pins_src = self.pins_in_part[src]
+        pins_dst = self.pins_in_part[dst]
+        g = 0.0
+        vp, vn = self._vtx_ptr, self._vtx_nets
+        for i in range(vp[v], vp[v + 1]):
+            e = vn[i]
+            if pins_src[e] == 1:
+                g += self._net_weights[e]
+            if pins_dst[e] == 0:
+                g -= self._net_weights[e]
+        return g
+
+    # ------------------------------------------------------------------
+    # Verification helpers (used heavily by tests)
+    # ------------------------------------------------------------------
+    def recompute_cut(self) -> float:
+        """Cut recomputed from scratch (ignores incremental state)."""
+        return self.hypergraph.cut_size(self.assignment)
+
+    def check_consistency(self) -> None:
+        """Assert incremental state matches a from-scratch recomputation."""
+        expected = Partition2(self.hypergraph, self.assignment, self.fixed)
+        if abs(expected.cut - self.cut) > 1e-9:
+            raise AssertionError(
+                f"cut drift: incremental {self.cut}, actual {expected.cut}"
+            )
+        for side in (0, 1):
+            if any(
+                a != b
+                for a, b in zip(
+                    expected.pins_in_part[side], self.pins_in_part[side]
+                )
+            ):
+                raise AssertionError(f"pin counts drift on side {side}")
+            if abs(expected.part_weights[side] - self.part_weights[side]) > 1e-6:
+                raise AssertionError(f"part weight drift on side {side}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition2(cut={self.cut:g}, "
+            f"weights=({self.part_weights[0]:g}, {self.part_weights[1]:g}))"
+        )

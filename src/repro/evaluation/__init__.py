@@ -1,0 +1,111 @@
+"""Experimentation and reporting methodology (paper Sections 2.3 & 3.2).
+
+This package is the reproduction of the paper's actual contribution: a
+principled way to run and report metaheuristic experiments —
+
+* :func:`run_trials` / :func:`run_configuration_evaluation` — recorded,
+  seed-controlled experiment execution;
+* :mod:`~repro.evaluation.bsf` — best-so-far curves and c_tau
+  distributions (Barr et al.);
+* :mod:`~repro.evaluation.pareto` — non-dominated (cost, time) frontiers;
+* :mod:`~repro.evaluation.ranking` — speed-dependent ranking diagrams
+  (Schreiber-Martin);
+* :mod:`~repro.evaluation.stats_tests` — significance testing (Brglez);
+* :mod:`~repro.evaluation.cpu_norm` — cross-machine CPU normalization
+  (paper footnote 9);
+* :mod:`~repro.evaluation.reporting` — the paper's table formats.
+"""
+
+from repro.evaluation.bsf import (
+    BSFPoint,
+    bsf_trajectory,
+    c_tau_samples,
+    default_tau_grid,
+    expected_bsf_curve,
+    probability_reaching,
+)
+from repro.evaluation.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    run_campaign,
+)
+from repro.evaluation.cpu_norm import (
+    CpuNormalizer,
+    calibration_factor,
+    reference_workload,
+)
+from repro.evaluation.pareto import (
+    PerfPoint,
+    best_for_budget,
+    dominates,
+    frontier_from_records,
+    non_dominated,
+)
+from repro.evaluation.ranking import RankingDiagram, ranking_diagram
+from repro.evaluation.records import (
+    TrialRecord,
+    avg_cut,
+    avg_runtime,
+    group_by,
+    load_records,
+    min_cut,
+    save_records,
+)
+from repro.evaluation.reporting import (
+    ascii_table,
+    comparison_table,
+    configuration_table,
+    cut_time_cell,
+    min_avg_cell,
+    summary_by_heuristic,
+    table1_grid,
+)
+from repro.evaluation.runner import run_configuration_evaluation, run_trials
+from repro.evaluation.stats_tests import (
+    ComparisonResult,
+    mann_whitney,
+    paired_wilcoxon,
+    permutation_test,
+)
+
+__all__ = [
+    "BSFPoint",
+    "CampaignResult",
+    "CampaignSpec",
+    "ComparisonResult",
+    "CpuNormalizer",
+    "PerfPoint",
+    "RankingDiagram",
+    "TrialRecord",
+    "ascii_table",
+    "avg_cut",
+    "avg_runtime",
+    "best_for_budget",
+    "bsf_trajectory",
+    "c_tau_samples",
+    "calibration_factor",
+    "comparison_table",
+    "configuration_table",
+    "cut_time_cell",
+    "default_tau_grid",
+    "dominates",
+    "expected_bsf_curve",
+    "frontier_from_records",
+    "group_by",
+    "load_records",
+    "mann_whitney",
+    "min_avg_cell",
+    "min_cut",
+    "non_dominated",
+    "paired_wilcoxon",
+    "permutation_test",
+    "probability_reaching",
+    "ranking_diagram",
+    "reference_workload",
+    "run_campaign",
+    "run_configuration_evaluation",
+    "run_trials",
+    "save_records",
+    "summary_by_heuristic",
+    "table1_grid",
+]

@@ -1,0 +1,120 @@
+"""CPU-time normalization across machines (paper footnote 9).
+
+The paper ran experiments on 110MHz Sparc-5s, 300MHz Ultra-10s and
+normalized everything to 200MHz Ultra-2 seconds, computing *conversion
+factors on an instance-specific basis by comparing runtimes for
+identical random seeds on different machines*.  This module implements
+exactly that procedure:
+
+* :func:`calibration_factor` — ratio of reference to local runtime for
+  the same (heuristic, instance, seed) workload;
+* :class:`CpuNormalizer` — applies per-instance factors (falling back to
+  a global factor) to whole record sets.
+
+With no 1999 hardware available, the shipped reference workload defines
+a *reference machine* abstraction: any two runs of the benchmark suite
+can be normalized to each other, which is all the methodology requires.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.evaluation.records import TrialRecord
+
+
+def reference_workload(scale: int = 60000) -> float:
+    """A deterministic CPU-bound workload; returns its runtime in seconds.
+
+    Pure-Python integer arithmetic: tracks interpreter speed, which is
+    what dominates FM inner loops on this substrate.
+    """
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(scale):
+        acc = (acc * 1103515245 + 12345 + i) % (1 << 31)
+    if acc < 0:  # pragma: no cover - keeps `acc` observable
+        raise AssertionError
+    return time.perf_counter() - t0
+
+
+def calibration_factor(
+    local_seconds: float, reference_seconds: float
+) -> float:
+    """Factor converting local runtimes to reference-machine runtimes.
+
+    ``normalized = local * factor`` where ``factor = reference / local``
+    for the identical-seed workload.
+    """
+    if local_seconds <= 0 or reference_seconds <= 0:
+        raise ValueError("runtimes must be positive")
+    return reference_seconds / local_seconds
+
+
+@dataclass
+class CpuNormalizer:
+    """Normalizes trial runtimes to a reference machine.
+
+    Attributes
+    ----------
+    global_factor:
+        Fallback conversion factor.
+    per_instance:
+        Instance-specific factors (the paper's footnote-9 refinement:
+        cache behaviour makes the machine ratio instance-dependent).
+    """
+
+    global_factor: float = 1.0
+    per_instance: Dict[str, float] = field(default_factory=dict)
+
+    def factor_for(self, instance: str) -> float:
+        """Conversion factor for ``instance``."""
+        return self.per_instance.get(instance, self.global_factor)
+
+    def normalize_seconds(self, seconds: float, instance: str = "") -> float:
+        """Convert one runtime to reference-machine seconds."""
+        return seconds * self.factor_for(instance)
+
+    def normalize(self, records: Sequence[TrialRecord]) -> List[TrialRecord]:
+        """Return records with runtimes converted to reference seconds."""
+        return [
+            TrialRecord(
+                heuristic=r.heuristic,
+                instance=r.instance,
+                seed=r.seed,
+                cut=r.cut,
+                runtime_seconds=self.normalize_seconds(
+                    r.runtime_seconds, r.instance
+                ),
+                legal=r.legal,
+            )
+            for r in records
+        ]
+
+    @staticmethod
+    def calibrate(
+        run_workload: Callable[[int], float],
+        reference_seconds_by_instance: Dict[str, float],
+        workload_seed_by_instance: Optional[Dict[str, int]] = None,
+    ) -> "CpuNormalizer":
+        """Build a normalizer by re-running recorded reference workloads.
+
+        ``reference_seconds_by_instance`` holds the reference machine's
+        runtime for each instance's identical-seed calibration run;
+        ``run_workload(seed)`` measures the same run locally.
+        """
+        per_instance: Dict[str, float] = {}
+        seeds = workload_seed_by_instance or {}
+        for instance, ref_seconds in reference_seconds_by_instance.items():
+            local = run_workload(seeds.get(instance, 0))
+            per_instance[instance] = calibration_factor(local, ref_seconds)
+        global_factor = (
+            sum(per_instance.values()) / len(per_instance)
+            if per_instance
+            else 1.0
+        )
+        return CpuNormalizer(
+            global_factor=global_factor, per_instance=per_instance
+        )

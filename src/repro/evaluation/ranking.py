@@ -1,0 +1,105 @@
+"""Speed-dependent ranking of heuristics (Schreiber-Martin style).
+
+For every CPU budget tau in a grid, heuristics are ranked by the mean of
+their c_tau distribution (best cost within tau, bootstrapped over
+orderings of recorded starts).  The result is the "ranking diagram
+diagnostic" the paper describes: regions of (CPU time) dominance for
+each heuristic.  Heuristics whose fastest start exceeds tau are marked
+unavailable in that regime rather than silently ranked.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.bsf import c_tau_samples, default_tau_grid
+from repro.evaluation.records import TrialRecord, group_by
+
+
+@dataclass
+class RankingDiagram:
+    """Mean c_tau per heuristic over a grid of CPU budgets."""
+
+    taus: List[float]
+    mean_ctau: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+
+    @property
+    def heuristics(self) -> List[str]:
+        return sorted(self.mean_ctau)
+
+    def winner_at(self, index: int) -> Optional[str]:
+        """Heuristic with the lowest mean c_tau at grid point ``index``
+        (ties broken alphabetically; None when nothing can run)."""
+        best: Optional[str] = None
+        best_val = float("inf")
+        for name in self.heuristics:
+            val = self.mean_ctau[name][index]
+            if val is not None and val < best_val:
+                best_val = val
+                best = name
+        return best
+
+    def dominance_regions(self) -> List[tuple]:
+        """Contiguous (tau_start, tau_end, winner) regions of the grid."""
+        regions: List[tuple] = []
+        current: Optional[str] = None
+        start_tau: Optional[float] = None
+        for i, tau in enumerate(self.taus):
+            w = self.winner_at(i)
+            if w != current:
+                if current is not None and start_tau is not None:
+                    regions.append((start_tau, tau, current))
+                current = w
+                start_tau = tau
+        if current is not None and start_tau is not None:
+            regions.append((start_tau, self.taus[-1], current))
+        return regions
+
+    def render(self) -> str:
+        """ASCII table: one row per tau, one column per heuristic, the
+        per-row winner starred."""
+        names = self.heuristics
+        header = ["tau (s)"] + names
+        rows: List[List[str]] = []
+        for i, tau in enumerate(self.taus):
+            winner = self.winner_at(i)
+            row = [f"{tau:.3g}"]
+            for name in names:
+                val = self.mean_ctau[name][i]
+                if val is None:
+                    cell = "-"
+                else:
+                    cell = f"{val:.1f}" + ("*" if name == winner else "")
+                row.append(cell)
+            rows.append(row)
+        widths = [
+            max(len(header[c]), *(len(r[c]) for r in rows))
+            for c in range(len(header))
+        ]
+        def fmt(row: List[str]) -> str:
+            return "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        return "\n".join([fmt(header)] + [fmt(r) for r in rows])
+
+
+def ranking_diagram(
+    records: Sequence[TrialRecord],
+    taus: Optional[Sequence[float]] = None,
+    num_shuffles: int = 200,
+    rng: Optional[random.Random] = None,
+) -> RankingDiagram:
+    """Build a :class:`RankingDiagram` from per-trial records of several
+    heuristics on one instance."""
+    if rng is None:
+        rng = random.Random(0)
+    if taus is None:
+        taus = default_tau_grid(list(records))
+    diagram = RankingDiagram(taus=list(taus))
+    for (name,), rs in group_by(records, "heuristic").items():
+        means: List[Optional[float]] = []
+        for tau in taus:
+            samples = c_tau_samples(rs, tau, num_shuffles, rng)
+            means.append(sum(samples) / len(samples) if samples else None)
+        diagram.mean_ctau[name] = means
+    return diagram

@@ -1,0 +1,73 @@
+"""Experiment record types shared by the evaluation machinery.
+
+A :class:`TrialRecord` is one independent start of one heuristic on one
+instance — the atom from which every reporting style (min/avg tables,
+BSF curves, Pareto frontiers, rankings, significance tests) is derived.
+Collecting *all* per-trial data and deriving reports afterwards is the
+"Do collect all data possible" maxim the paper quotes from Gent et al.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One independent single-start trial."""
+
+    heuristic: str
+    instance: str
+    seed: int
+    cut: float
+    runtime_seconds: float
+    legal: bool
+
+
+def group_by(
+    records: Iterable[TrialRecord], *fields: str
+) -> Dict[tuple, List[TrialRecord]]:
+    """Group records by a tuple of field names (e.g. heuristic, instance)."""
+    groups: Dict[tuple, List[TrialRecord]] = {}
+    for r in records:
+        key = tuple(getattr(r, f) for f in fields)
+        groups.setdefault(key, []).append(r)
+    return groups
+
+
+def min_cut(records: Iterable[TrialRecord]) -> float:
+    """Minimum cut over records."""
+    return min(r.cut for r in records)
+
+
+def avg_cut(records: Iterable[TrialRecord]) -> float:
+    """Average cut over records."""
+    rs = list(records)
+    return sum(r.cut for r in rs) / len(rs)
+
+
+def avg_runtime(records: Iterable[TrialRecord]) -> float:
+    """Average per-start runtime in seconds."""
+    rs = list(records)
+    return sum(r.runtime_seconds for r in rs) / len(rs)
+
+
+def save_records(records: Iterable[TrialRecord], path: Union[str, Path]) -> None:
+    """Persist records as JSON lines (one trial per line)."""
+    with open(path, "w", encoding="ascii") as f:
+        for r in records:
+            f.write(json.dumps(asdict(r)) + "\n")
+
+
+def load_records(path: Union[str, Path]) -> List[TrialRecord]:
+    """Load records saved by :func:`save_records`."""
+    out: List[TrialRecord] = []
+    with open(path, "r", encoding="ascii") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(TrialRecord(**json.loads(line)))
+    return out

@@ -1,0 +1,143 @@
+"""Paper-style table formatting.
+
+Renders the exact reporting shapes of the paper from trial records:
+
+* Table 1 grid — rows (updates, bias), columns instances, cells
+  ``min/avg``;
+* Tables 2-3 — rows (tolerance, algorithm), cells ``min/avg``;
+* Tables 4-5 — rows instances, columns configurations, cells
+  ``avg_cut/avg_cpu``.
+
+These are deliberately plain ASCII tables: the paper's point is the
+*content* discipline (all data collected, tradeoffs visible), not the
+typesetting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+from repro.evaluation.records import TrialRecord, avg_cut, group_by, min_cut
+
+
+def ascii_table(
+    header: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Right-aligned ASCII table with a separator under the header."""
+    cols = len(header)
+    for r in rows:
+        if len(r) != cols:
+            raise ValueError("row length mismatch")
+    widths = [
+        max(len(str(header[c])), *(len(str(r[c])) for r in rows))
+        if rows
+        else len(str(header[c]))
+        for c in range(cols)
+    ]
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(str(cell).rjust(w) for cell, w in zip(row, widths))
+
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(header), sep] + [fmt(r) for r in rows])
+
+
+def min_avg_cell(records: Sequence[TrialRecord]) -> str:
+    """The paper's ``min/avg`` cell (e.g. ``333/639``)."""
+    return f"{min_cut(records):g}/{avg_cut(records):.0f}"
+
+
+def cut_time_cell(avg_best_cut: float, avg_cpu_seconds: float) -> str:
+    """The Tables 4-5 cell format ``avg_cut/avg_time``."""
+    return f"{avg_best_cut:.1f}/{avg_cpu_seconds:.1f}"
+
+
+def table1_grid(
+    records: Sequence[TrialRecord],
+    engines: Sequence[str],
+    variants: Sequence[tuple],
+    instances: Sequence[str],
+) -> str:
+    """Render a Table 1-style grid.
+
+    ``variants`` is a list of (updates_label, bias_label); a record
+    belongs to row ``(engine, updates, bias)`` when its heuristic name
+    equals ``f"{engine} {updates} {bias}"`` (the naming convention used
+    by the Table 1 bench).
+    """
+    blocks: List[str] = []
+    by_name = group_by(records, "heuristic", "instance")
+    for engine in engines:
+        rows = []
+        for updates, bias in variants:
+            name = f"{engine} {updates} {bias}"
+            row = [updates, bias]
+            for inst in instances:
+                rs = by_name.get((name, inst))
+                row.append(min_avg_cell(rs) if rs else "-")
+            rows.append(row)
+        blocks.append(
+            f"{engine}\n"
+            + ascii_table(["Updates", "Bias"] + list(instances), rows)
+        )
+    return "\n\n".join(blocks)
+
+
+def comparison_table(
+    records: Sequence[TrialRecord],
+    row_labels: Mapping[str, str],
+    instances: Sequence[str],
+) -> str:
+    """Render a Tables 2/3-style comparison.
+
+    ``row_labels`` maps heuristic names (as recorded) to display labels,
+    in row order.
+    """
+    by_name = group_by(records, "heuristic", "instance")
+    rows = []
+    for name, label in row_labels.items():
+        row = [label]
+        for inst in instances:
+            rs = by_name.get((name, inst))
+            row.append(min_avg_cell(rs) if rs else "-")
+        rows.append(row)
+    return ascii_table(["Algorithm"] + list(instances), rows)
+
+
+def configuration_table(
+    results: Mapping[str, Mapping[int, Mapping[str, float]]],
+    start_counts: Sequence[int],
+) -> str:
+    """Render a Tables 4/5-style configuration table.
+
+    ``results[instance][num_starts]`` must hold ``avg_best_cut`` and
+    ``avg_cpu_seconds`` (the output of
+    :func:`repro.evaluation.runner.run_configuration_evaluation`).
+    """
+    header = ["Circuit"] + [f"cfg {s}" for s in start_counts]
+    rows = []
+    for instance, per_cfg in results.items():
+        row = [instance]
+        for s in start_counts:
+            cell = per_cfg.get(s)
+            row.append(
+                cut_time_cell(cell["avg_best_cut"], cell["avg_cpu_seconds"])
+                if cell
+                else "-"
+            )
+        rows.append(row)
+    return ascii_table(header, rows)
+
+
+def summary_by_heuristic(records: Sequence[TrialRecord]) -> str:
+    """Quick ``heuristic x instance -> min/avg (avg s)`` overview table."""
+    keys = group_by(records, "heuristic", "instance")
+    rows = []
+    for (heuristic, instance), rs in sorted(keys.items()):
+        avg_t = sum(r.runtime_seconds for r in rs) / len(rs)
+        rows.append(
+            [heuristic, instance, min_avg_cell(rs), f"{avg_t:.2f}s", str(len(rs))]
+        )
+    return ascii_table(
+        ["Heuristic", "Instance", "min/avg cut", "avg time", "starts"], rows
+    )

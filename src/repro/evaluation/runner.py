@@ -1,0 +1,105 @@
+"""Experiment runner: heuristics x instances x independent starts.
+
+Ensures "apples to apples" comparisons (Section 2.3): every heuristic
+sees the same instances and the same seed stream, and all trials are
+recorded individually so any reporting style can be derived later.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.multistart import Bipartitioner
+from repro.evaluation.records import TrialRecord
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def run_trials(
+    partitioners: Iterable[Bipartitioner],
+    instances: Dict[str, Hypergraph],
+    num_starts: int,
+    base_seed: int = 0,
+    fixed_parts: Optional[Dict[str, Sequence[Optional[int]]]] = None,
+) -> List[TrialRecord]:
+    """Run ``num_starts`` independent starts of every heuristic on every
+    instance; return the flat list of per-trial records.
+
+    Start ``i`` of every heuristic on a given instance uses seed
+    ``base_seed + i`` so heuristics face identical randomness.
+    """
+    if num_starts < 1:
+        raise ValueError("num_starts must be >= 1")
+    records: List[TrialRecord] = []
+    for instance_name, hypergraph in instances.items():
+        fp = fixed_parts.get(instance_name) if fixed_parts else None
+        for partitioner in partitioners:
+            name = getattr(partitioner, "name", type(partitioner).__name__)
+            for i in range(num_starts):
+                seed = base_seed + i
+                t0 = time.perf_counter()
+                result = partitioner.partition(
+                    hypergraph, seed=seed, fixed_parts=fp
+                )
+                elapsed = time.perf_counter() - t0
+                records.append(
+                    TrialRecord(
+                        heuristic=name,
+                        instance=instance_name,
+                        seed=seed,
+                        cut=result.cut,
+                        runtime_seconds=elapsed,
+                        legal=result.legal,
+                    )
+                )
+    return records
+
+
+def run_configuration_evaluation(
+    make_partitioner,
+    hypergraph: Hypergraph,
+    instance_name: str,
+    start_counts: Sequence[int],
+    repetitions: int,
+    base_seed: int = 0,
+    vcycle=None,
+) -> Dict[int, Dict[str, float]]:
+    """The paper's hMetis-1.5 evaluation protocol (Tables 4-5).
+
+    For each configuration (= number of independent starts ``s`` in
+    ``start_counts``), execute the whole multistart bundle
+    ``repetitions`` times; each bundle keeps its best result and, when
+    ``vcycle`` is given, applies ``vcycle(hypergraph, best_assignment,
+    seed)`` to it (shmetis V-cycles the best of its starts).  Returns
+    ``{s: {"avg_best_cut": ..., "avg_cpu_seconds": ...}}`` — the
+    ``cut/time`` cells of Tables 4 and 5.
+    """
+    out: Dict[int, Dict[str, float]] = {}
+    seed_cursor = base_seed
+    for s in start_counts:
+        best_cuts: List[float] = []
+        cpu_times: List[float] = []
+        for _ in range(repetitions):
+            t0 = time.perf_counter()
+            best_cut = float("inf")
+            best_assignment = None
+            for _ in range(s):
+                partitioner = make_partitioner()
+                result = partitioner.partition(hypergraph, seed=seed_cursor)
+                seed_cursor += 1
+                if result.cut < best_cut:
+                    best_cut = result.cut
+                    best_assignment = result.assignment
+            if vcycle is not None and best_assignment is not None:
+                improved = vcycle(hypergraph, best_assignment, seed_cursor)
+                seed_cursor += 1
+                if improved.cut < best_cut:
+                    best_cut = improved.cut
+            cpu_times.append(time.perf_counter() - t0)
+            best_cuts.append(best_cut)
+        out[s] = {
+            "avg_best_cut": sum(best_cuts) / len(best_cuts),
+            "avg_cpu_seconds": sum(cpu_times) / len(cpu_times),
+            "instance": instance_name,
+        }
+    return out

@@ -1,0 +1,318 @@
+"""Core hypergraph data structure.
+
+The representation follows the usual VLSI CAD convention: *vertices* are
+cells (with areas as weights) and *nets* are hyperedges (with optional
+weights).  Both incidence directions are stored in CSR form:
+
+* ``_net_ptr`` / ``_net_pins`` — for net ``e``, the pins (vertices) are
+  ``_net_pins[_net_ptr[e]:_net_ptr[e + 1]]``.
+* ``_vtx_ptr`` / ``_vtx_nets`` — for vertex ``v``, the incident nets are
+  ``_vtx_nets[_vtx_ptr[v]:_vtx_ptr[v + 1]]``.
+
+Plain Python lists are used rather than numpy arrays because the FM inner
+loops index single elements in tight loops, where list indexing is several
+times faster than scalar numpy access.  Bulk analysis helpers convert to
+numpy on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+class Hypergraph:
+    """A vertex- and net-weighted hypergraph.
+
+    Instances are conceptually immutable: all mutation happens through
+    :class:`repro.hypergraph.builder.HypergraphBuilder`.  The constructor
+    accepts fully-formed pin lists and performs validation and CSR
+    compression.
+
+    Parameters
+    ----------
+    net_pins:
+        One sequence of vertex ids per net.  Pins within a net must be
+        unique (use the builder to de-duplicate raw netlists).
+    num_vertices:
+        Total vertex count.  Must cover every pin; isolated vertices (in
+        no net) are allowed and commonly arise in real netlists.
+    vertex_weights:
+        Cell areas.  Defaults to unit areas.
+    net_weights:
+        Net weights.  Defaults to unit weights (plain cut-size objective).
+    vertex_names / net_names:
+        Optional external names preserved for I/O round-trips.
+    """
+
+    __slots__ = (
+        "_num_vertices",
+        "_num_nets",
+        "_net_ptr",
+        "_net_pins",
+        "_vtx_ptr",
+        "_vtx_nets",
+        "_vertex_weights",
+        "_net_weights",
+        "_vertex_names",
+        "_net_names",
+        "_total_vertex_weight",
+    )
+
+    def __init__(
+        self,
+        net_pins: Sequence[Sequence[int]],
+        num_vertices: int,
+        vertex_weights: Optional[Sequence[float]] = None,
+        net_weights: Optional[Sequence[float]] = None,
+        vertex_names: Optional[Sequence[str]] = None,
+        net_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._num_vertices = num_vertices
+        self._num_nets = len(net_pins)
+
+        net_ptr = [0] * (self._num_nets + 1)
+        flat_pins: List[int] = []
+        for e, pins in enumerate(net_pins):
+            seen = set()
+            for v in pins:
+                if not 0 <= v < num_vertices:
+                    raise ValueError(
+                        f"net {e} references vertex {v} outside "
+                        f"[0, {num_vertices})"
+                    )
+                if v in seen:
+                    raise ValueError(f"net {e} has duplicate pin {v}")
+                seen.add(v)
+                flat_pins.append(v)
+            net_ptr[e + 1] = len(flat_pins)
+        self._net_ptr = net_ptr
+        self._net_pins = flat_pins
+
+        if vertex_weights is None:
+            vertex_weights = [1.0] * num_vertices
+        elif len(vertex_weights) != num_vertices:
+            raise ValueError("vertex_weights length mismatch")
+        self._vertex_weights = [float(w) for w in vertex_weights]
+        for v, w in enumerate(self._vertex_weights):
+            if w < 0:
+                raise ValueError(f"vertex {v} has negative weight {w}")
+
+        if net_weights is None:
+            net_weights = [1.0] * self._num_nets
+        elif len(net_weights) != self._num_nets:
+            raise ValueError("net_weights length mismatch")
+        self._net_weights = [float(w) for w in net_weights]
+        for e, w in enumerate(self._net_weights):
+            if w < 0:
+                raise ValueError(f"net {e} has negative weight {w}")
+
+        self._vertex_names = list(vertex_names) if vertex_names else None
+        if self._vertex_names and len(self._vertex_names) != num_vertices:
+            raise ValueError("vertex_names length mismatch")
+        self._net_names = list(net_names) if net_names else None
+        if self._net_names and len(self._net_names) != self._num_nets:
+            raise ValueError("net_names length mismatch")
+
+        # Build the transposed incidence (vertex -> nets) by counting sort.
+        vtx_ptr = [0] * (num_vertices + 1)
+        for v in flat_pins:
+            vtx_ptr[v + 1] += 1
+        for v in range(num_vertices):
+            vtx_ptr[v + 1] += vtx_ptr[v]
+        vtx_nets = [0] * len(flat_pins)
+        cursor = list(vtx_ptr)
+        for e in range(self._num_nets):
+            for i in range(net_ptr[e], net_ptr[e + 1]):
+                v = flat_pins[i]
+                vtx_nets[cursor[v]] = e
+                cursor[v] += 1
+        self._vtx_ptr = vtx_ptr
+        self._vtx_nets = vtx_nets
+
+        self._total_vertex_weight = float(sum(self._vertex_weights))
+
+    # ------------------------------------------------------------------
+    # Size accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (cells)."""
+        return self._num_vertices
+
+    @property
+    def num_nets(self) -> int:
+        """Number of nets (hyperedges)."""
+        return self._num_nets
+
+    @property
+    def num_pins(self) -> int:
+        """Total number of pins (sum of net sizes)."""
+        return len(self._net_pins)
+
+    @property
+    def total_vertex_weight(self) -> float:
+        """Sum of all vertex weights (total cell area)."""
+        return self._total_vertex_weight
+
+    # ------------------------------------------------------------------
+    # Weights and names
+    # ------------------------------------------------------------------
+    def vertex_weight(self, v: int) -> float:
+        """Weight (area) of vertex ``v``."""
+        return self._vertex_weights[v]
+
+    def net_weight(self, e: int) -> float:
+        """Weight of net ``e``."""
+        return self._net_weights[e]
+
+    @property
+    def vertex_weights(self) -> List[float]:
+        """All vertex weights (copy)."""
+        return list(self._vertex_weights)
+
+    @property
+    def net_weights(self) -> List[float]:
+        """All net weights (copy)."""
+        return list(self._net_weights)
+
+    def vertex_name(self, v: int) -> str:
+        """External name of vertex ``v`` (synthesized if absent)."""
+        if self._vertex_names is not None:
+            return self._vertex_names[v]
+        return f"v{v}"
+
+    def net_name(self, e: int) -> str:
+        """External name of net ``e`` (synthesized if absent)."""
+        if self._net_names is not None:
+            return self._net_names[e]
+        return f"n{e}"
+
+    # ------------------------------------------------------------------
+    # Incidence traversal
+    # ------------------------------------------------------------------
+    def pins_of(self, e: int) -> List[int]:
+        """Vertices on net ``e`` (fresh list)."""
+        return self._net_pins[self._net_ptr[e] : self._net_ptr[e + 1]]
+
+    def nets_of(self, v: int) -> List[int]:
+        """Nets incident to vertex ``v`` (fresh list)."""
+        return self._vtx_nets[self._vtx_ptr[v] : self._vtx_ptr[v + 1]]
+
+    def net_size(self, e: int) -> int:
+        """Number of pins of net ``e``."""
+        return self._net_ptr[e + 1] - self._net_ptr[e]
+
+    def degree(self, v: int) -> int:
+        """Number of nets incident to vertex ``v``."""
+        return self._vtx_ptr[v + 1] - self._vtx_ptr[v]
+
+    def nets(self) -> range:
+        """Iterable over net ids."""
+        return range(self._num_nets)
+
+    def vertices(self) -> range:
+        """Iterable over vertex ids."""
+        return range(self._num_vertices)
+
+    # Raw CSR access for performance-critical consumers (FM engine).
+    @property
+    def raw_csr(
+        self,
+    ) -> Tuple[List[int], List[int], List[int], List[int]]:
+        """Internal CSR arrays ``(net_ptr, net_pins, vtx_ptr, vtx_nets)``.
+
+        Exposed for the FM inner loops; callers must not mutate them.
+        """
+        return self._net_ptr, self._net_pins, self._vtx_ptr, self._vtx_nets
+
+    # ------------------------------------------------------------------
+    # Objective evaluation
+    # ------------------------------------------------------------------
+    def cut_size(self, assignment: Sequence[int]) -> float:
+        """Weighted cut of ``assignment`` (net-cut objective).
+
+        A net is cut when its pins do not all lie in a single partition.
+        Works for any number of parts; pin-less nets are never cut.
+        """
+        if len(assignment) != self._num_vertices:
+            raise ValueError("assignment length mismatch")
+        total = 0.0
+        net_ptr, net_pins = self._net_ptr, self._net_pins
+        for e in range(self._num_nets):
+            lo, hi = net_ptr[e], net_ptr[e + 1]
+            if hi - lo < 2:
+                continue
+            first = assignment[net_pins[lo]]
+            for i in range(lo + 1, hi):
+                if assignment[net_pins[i]] != first:
+                    total += self._net_weights[e]
+                    break
+        return total
+
+    def connectivity_cut(self, assignment: Sequence[int]) -> float:
+        """(k-1)-connectivity objective: ``sum_e w_e * (lambda_e - 1)``.
+
+        ``lambda_e`` is the number of distinct parts spanned by net ``e``.
+        Equals :meth:`cut_size` for 2-way partitions.
+        """
+        if len(assignment) != self._num_vertices:
+            raise ValueError("assignment length mismatch")
+        total = 0.0
+        net_ptr, net_pins = self._net_ptr, self._net_pins
+        for e in range(self._num_nets):
+            lo, hi = net_ptr[e], net_ptr[e + 1]
+            if hi - lo < 2:
+                continue
+            parts = {assignment[net_pins[i]] for i in range(lo, hi)}
+            if len(parts) > 1:
+                total += self._net_weights[e] * (len(parts) - 1)
+        return total
+
+    def part_weights(self, assignment: Sequence[int], k: int = 2) -> List[float]:
+        """Total vertex weight per part under ``assignment``."""
+        weights = [0.0] * k
+        for v in range(self._num_vertices):
+            weights[assignment[v]] += self._vertex_weights[v]
+        return weights
+
+    # ------------------------------------------------------------------
+    # Derived hypergraphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(
+        self, vertex_ids: Iterable[int]
+    ) -> Tuple["Hypergraph", List[int]]:
+        """Subhypergraph induced by ``vertex_ids``.
+
+        Nets are restricted to the kept pins; nets left with fewer than
+        two pins are dropped (they can never be cut).  Returns the new
+        hypergraph and the list mapping new vertex ids to old ids.
+        """
+        keep = sorted(set(vertex_ids))
+        old_to_new = {old: new for new, old in enumerate(keep)}
+        new_nets: List[List[int]] = []
+        new_net_weights: List[float] = []
+        for e in range(self._num_nets):
+            pins = [old_to_new[v] for v in self.pins_of(e) if v in old_to_new]
+            if len(pins) >= 2:
+                new_nets.append(pins)
+                new_net_weights.append(self._net_weights[e])
+        sub = Hypergraph(
+            new_nets,
+            num_vertices=len(keep),
+            vertex_weights=[self._vertex_weights[v] for v in keep],
+            net_weights=new_net_weights,
+            vertex_names=(
+                [self._vertex_names[v] for v in keep]
+                if self._vertex_names
+                else None
+            ),
+        )
+        return sub, keep
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph(|V|={self._num_vertices}, |E|={self._num_nets}, "
+            f"pins={self.num_pins}, area={self._total_vertex_weight:g})"
+        )

@@ -1,0 +1,136 @@
+"""hMetis ``.hgr`` text format reader and writer.
+
+Format (hMetis 1.5 user manual):
+
+* First line: ``<#nets> <#vertices> [fmt]`` where ``fmt`` is ``1`` for
+  net weights, ``10`` for vertex weights, ``11`` for both.
+* One line per net: ``[weight] pin pin ...`` with 1-based vertex ids.
+* If vertex weights are present, one weight per line follows the nets.
+* Lines starting with ``%`` are comments.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Optional, TextIO, Union
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+PathLike = Union[str, Path]
+
+
+def _open_text(source: Union[PathLike, TextIO], mode: str) -> TextIO:
+    if isinstance(source, (str, Path)):
+        return open(source, mode, encoding="ascii")
+    return source
+
+
+def read_hgr(source: Union[PathLike, TextIO]) -> Hypergraph:
+    """Read a hypergraph in hMetis ``.hgr`` format.
+
+    ``source`` may be a path or an open text stream.  Raises
+    ``ValueError`` on malformed input.
+    """
+    stream = _open_text(source, "r")
+    close = isinstance(source, (str, Path))
+    try:
+        lines = [
+            ln.strip()
+            for ln in stream
+            if ln.strip() and not ln.lstrip().startswith("%")
+        ]
+    finally:
+        if close:
+            stream.close()
+    if not lines:
+        raise ValueError("empty .hgr file")
+
+    header = lines[0].split()
+    if len(header) not in (2, 3):
+        raise ValueError(f"bad .hgr header: {lines[0]!r}")
+    num_nets, num_vertices = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) == 3 else "0"
+    has_net_weights = fmt in ("1", "11")
+    has_vertex_weights = fmt in ("10", "11")
+
+    expected = 1 + num_nets + (num_vertices if has_vertex_weights else 0)
+    if len(lines) < expected:
+        raise ValueError(
+            f".hgr truncated: expected {expected} lines, got {len(lines)}"
+        )
+
+    nets: List[List[int]] = []
+    net_weights: Optional[List[float]] = [] if has_net_weights else None
+    for e in range(num_nets):
+        fields = lines[1 + e].split()
+        if has_net_weights:
+            assert net_weights is not None
+            net_weights.append(float(fields[0]))
+            fields = fields[1:]
+        pins = []
+        seen = set()
+        for f in fields:
+            v = int(f) - 1
+            if not 0 <= v < num_vertices:
+                raise ValueError(f"net {e} pin {f} out of range")
+            if v not in seen:
+                seen.add(v)
+                pins.append(v)
+        nets.append(pins)
+
+    vertex_weights: Optional[List[float]] = None
+    if has_vertex_weights:
+        vertex_weights = [
+            float(lines[1 + num_nets + v]) for v in range(num_vertices)
+        ]
+
+    return Hypergraph(
+        nets,
+        num_vertices=num_vertices,
+        vertex_weights=vertex_weights,
+        net_weights=net_weights,
+    )
+
+
+def write_hgr(
+    hypergraph: Hypergraph,
+    destination: Union[PathLike, TextIO],
+    write_net_weights: bool = False,
+    write_vertex_weights: bool = True,
+) -> None:
+    """Write ``hypergraph`` in hMetis ``.hgr`` format."""
+    fmt_bits = ("1" if write_vertex_weights else "0") + (
+        "1" if write_net_weights else "0"
+    )
+    fmt = {"00": "", "01": "1", "10": "10", "11": "11"}[fmt_bits]
+
+    buf = io.StringIO()
+    header = f"{hypergraph.num_nets} {hypergraph.num_vertices}"
+    if fmt:
+        header += f" {fmt}"
+    buf.write(header + "\n")
+    for e in range(hypergraph.num_nets):
+        parts = []
+        if write_net_weights:
+            parts.append(_fmt_weight(hypergraph.net_weight(e)))
+        parts.extend(str(v + 1) for v in hypergraph.pins_of(e))
+        buf.write(" ".join(parts) + "\n")
+    if write_vertex_weights:
+        for v in range(hypergraph.num_vertices):
+            buf.write(_fmt_weight(hypergraph.vertex_weight(v)) + "\n")
+
+    stream = _open_text(destination, "w")
+    close = isinstance(destination, (str, Path))
+    try:
+        stream.write(buf.getvalue())
+    finally:
+        if close:
+            stream.close()
+
+
+def _fmt_weight(w: float) -> str:
+    """hMetis weights are integers; emit ints when exact."""
+    if w == int(w):
+        return str(int(w))
+    return repr(w)

@@ -1,0 +1,62 @@
+"""Partition solution files (hMetis convention).
+
+A solution file holds one part id per line, one line per vertex in id
+order — the format hMetis writes as ``<netlist>.part.<k>``.  A trailing
+comment block (lines starting with ``%``) may record metadata such as
+the cut; it is ignored on read.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+PathLike = Union[str, Path]
+
+
+def write_solution(
+    assignment: List[int],
+    path: PathLike,
+    hypergraph: Optional[Hypergraph] = None,
+    k: Optional[int] = None,
+) -> None:
+    """Write ``assignment`` as a solution file.
+
+    When ``hypergraph`` is given, the cut and part weights are appended
+    as ``%`` comments for human inspection.
+    """
+    lines = [str(p) for p in assignment]
+    if hypergraph is not None:
+        if len(assignment) != hypergraph.num_vertices:
+            raise ValueError("assignment length mismatch")
+        parts = k if k is not None else (max(assignment) + 1 if assignment else 0)
+        lines.append(f"% cut {hypergraph.cut_size(assignment):g}")
+        if parts >= 2:
+            weights = hypergraph.part_weights(assignment, parts)
+            lines.append(
+                "% part_weights " + " ".join(f"{w:g}" for w in weights)
+            )
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+
+
+def read_solution(
+    path: PathLike, hypergraph: Optional[Hypergraph] = None
+) -> List[int]:
+    """Read a solution file; validates length/parts against ``hypergraph``
+    when given."""
+    assignment: List[int] = []
+    for ln in Path(path).read_text(encoding="ascii").splitlines():
+        ln = ln.strip()
+        if not ln or ln.startswith("%"):
+            continue
+        assignment.append(int(ln))
+    if hypergraph is not None and len(assignment) != hypergraph.num_vertices:
+        raise ValueError(
+            f"solution has {len(assignment)} entries for a hypergraph "
+            f"with {hypergraph.num_vertices} vertices"
+        )
+    if any(p < 0 for p in assignment):
+        raise ValueError("negative part id in solution")
+    return assignment

@@ -1,0 +1,99 @@
+"""Instance statistics matching Section 2.1 of the paper.
+
+The paper lists the salient attributes of real-world partitioning inputs:
+sparsity (#nets close to #vertices), average vertex degree 3-5, average
+net size 3-5, a small number of extremely large nets, and wide variation
+in vertex weights.  ``hypergraph_stats`` computes exactly these descriptors
+so that synthetic instances can be checked against the targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class HypergraphStats:
+    """Descriptors of a partitioning instance (cf. paper Section 2.1)."""
+
+    num_vertices: int
+    num_nets: int
+    num_pins: int
+    sparsity: float  #: nets per vertex; ~1.0 for real netlists
+    avg_degree: float  #: average nets per cell; 3-5 for cell-level designs
+    max_degree: int
+    avg_net_size: float  #: 3-5 typical; clock/reset nets are outliers
+    max_net_size: int
+    large_net_count: int  #: nets with >= ``large_net_threshold`` pins
+    large_net_threshold: int
+    total_area: float
+    min_area: float
+    max_area: float
+    area_spread: float  #: max/min cell area; "wide variation" in real designs
+    macro_count: int  #: cells wider than 1% of total area
+    degree_histogram: Dict[int, int] = field(default_factory=dict)
+    net_size_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"vertices            {self.num_vertices}",
+            f"nets                {self.num_nets}",
+            f"pins                {self.num_pins}",
+            f"sparsity (E/V)      {self.sparsity:.3f}",
+            f"avg vertex degree   {self.avg_degree:.2f} (max {self.max_degree})",
+            f"avg net size        {self.avg_net_size:.2f} (max {self.max_net_size})",
+            f"large nets (>= {self.large_net_threshold})  {self.large_net_count}",
+            f"total area          {self.total_area:g}",
+            f"area spread         {self.area_spread:.1f}x "
+            f"(min {self.min_area:g}, max {self.max_area:g})",
+            f"macro cells         {self.macro_count}",
+        ]
+        return "\n".join(lines)
+
+
+def hypergraph_stats(
+    hypergraph: Hypergraph, large_net_threshold: int = 50
+) -> HypergraphStats:
+    """Compute :class:`HypergraphStats` for ``hypergraph``."""
+    n, m = hypergraph.num_vertices, hypergraph.num_nets
+    degrees = [hypergraph.degree(v) for v in range(n)]
+    net_sizes = [hypergraph.net_size(e) for e in range(m)]
+    areas = hypergraph.vertex_weights
+
+    degree_hist: Dict[int, int] = {}
+    for d in degrees:
+        degree_hist[d] = degree_hist.get(d, 0) + 1
+    size_hist: Dict[int, int] = {}
+    for s in net_sizes:
+        size_hist[s] = size_hist.get(s, 0) + 1
+
+    total_area = float(sum(areas)) if areas else 0.0
+    positive_areas: List[float] = [a for a in areas if a > 0]
+    min_area = min(positive_areas) if positive_areas else 0.0
+    max_area = max(areas) if areas else 0.0
+    macro_cut = 0.01 * total_area
+    return HypergraphStats(
+        num_vertices=n,
+        num_nets=m,
+        num_pins=hypergraph.num_pins,
+        sparsity=(m / n) if n else 0.0,
+        avg_degree=float(np.mean(degrees)) if degrees else 0.0,
+        max_degree=max(degrees) if degrees else 0,
+        avg_net_size=float(np.mean(net_sizes)) if net_sizes else 0.0,
+        max_net_size=max(net_sizes) if net_sizes else 0,
+        large_net_count=sum(1 for s in net_sizes if s >= large_net_threshold),
+        large_net_threshold=large_net_threshold,
+        total_area=total_area,
+        min_area=min_area,
+        max_area=max_area,
+        area_spread=(max_area / min_area) if min_area > 0 else 0.0,
+        macro_count=sum(1 for a in areas if a > macro_cut),
+        degree_histogram=degree_hist,
+        net_size_histogram=size_hist,
+    )

@@ -1,0 +1,43 @@
+"""Synthetic benchmark instances (the offline stand-in for ISPD98/MCNC).
+
+See DESIGN.md, "Substitutions": the real IBM benchmarks cannot be
+shipped; these generators match the instance statistics the paper lists
+in Section 2.1 and the suite mirrors the published ISPD98 cell counts at
+a documented scale.
+"""
+
+from repro.instances.generators import (
+    corking_initial,
+    corking_instance,
+    generate_circuit,
+    random_hypergraph,
+)
+from repro.instances.perturb import (
+    Mutant,
+    isomorphic_mutant,
+    mutant_family,
+    ordering_sensitivity,
+)
+from repro.instances.suite import (
+    DEFAULT_SCALE,
+    SUITE,
+    SuiteSpec,
+    suite_instance,
+    suite_names,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "Mutant",
+    "SUITE",
+    "SuiteSpec",
+    "corking_initial",
+    "corking_instance",
+    "generate_circuit",
+    "isomorphic_mutant",
+    "mutant_family",
+    "ordering_sensitivity",
+    "random_hypergraph",
+    "suite_instance",
+    "suite_names",
+]

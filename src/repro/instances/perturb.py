@@ -1,0 +1,116 @@
+"""Instance perturbation for design-of-experiments (Brglez).
+
+Section 3.2 cites Brglez's question: "Which improvements are due to
+improved heuristic and which are merely due to chance?"  His proposed
+methodology evaluates heuristics on *classes of statistically
+equivalent instances* — e.g. isomorphic relabelings of one netlist —
+rather than a single frozen benchmark, because move-based heuristics
+are sensitive to vertex and net ordering (tie-breaking!) in ways that
+have nothing to do with instance structure.
+
+This module generates such equivalence classes:
+
+* :func:`isomorphic_mutant` — relabel vertices and permute net order;
+  the hypergraph is structurally identical, so any *exact* solver would
+  return the same cut, but ordering-sensitive heuristics may not.
+* :func:`mutant_family` — a deterministic family of mutants.
+* :func:`translate_assignment` — map a solution on a mutant back to the
+  original vertex ids (for cut cross-checking).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """An isomorphic relabeling of a base hypergraph.
+
+    ``vertex_map[old_id] = new_id`` in the mutant.
+    """
+
+    hypergraph: Hypergraph
+    vertex_map: List[int]
+
+    def translate_assignment(self, mutant_assignment: Sequence[int]) -> List[int]:
+        """Map a mutant-side assignment back onto base vertex ids."""
+        if len(mutant_assignment) != len(self.vertex_map):
+            raise ValueError("assignment length mismatch")
+        return [mutant_assignment[self.vertex_map[v]] for v in
+                range(len(self.vertex_map))]
+
+
+def isomorphic_mutant(hypergraph: Hypergraph, seed: int) -> Mutant:
+    """Random isomorphic relabeling of ``hypergraph``.
+
+    Vertices are renamed by a random permutation, nets are re-ordered
+    randomly, and pins within each net are re-sorted under the new ids.
+    Cut structure is exactly preserved (see
+    :meth:`Mutant.translate_assignment`).
+    """
+    rng = random.Random(seed)
+    n = hypergraph.num_vertices
+    perm = list(range(n))
+    rng.shuffle(perm)  # perm[old] = new
+
+    nets = []
+    net_weights = []
+    order = list(hypergraph.nets())
+    rng.shuffle(order)
+    for e in order:
+        nets.append(sorted(perm[v] for v in hypergraph.pins_of(e)))
+        net_weights.append(hypergraph.net_weight(e))
+
+    weights = [0.0] * n
+    for old in range(n):
+        weights[perm[old]] = hypergraph.vertex_weight(old)
+
+    mutant_hg = Hypergraph(
+        nets, num_vertices=n, vertex_weights=weights, net_weights=net_weights
+    )
+    return Mutant(hypergraph=mutant_hg, vertex_map=perm)
+
+
+def mutant_family(
+    hypergraph: Hypergraph, count: int, base_seed: int = 0
+) -> List[Mutant]:
+    """A deterministic family of ``count`` isomorphic mutants."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return [
+        isomorphic_mutant(hypergraph, base_seed + i) for i in range(count)
+    ]
+
+
+def ordering_sensitivity(
+    partitioner,
+    hypergraph: Hypergraph,
+    num_mutants: int = 8,
+    seed: int = 0,
+) -> List[float]:
+    """Cuts obtained by ``partitioner`` (fixed seed) across an
+    isomorphic mutant family.
+
+    A perfectly ordering-robust heuristic returns identical cuts for
+    every mutant; the spread of this list is the Brglez "due to chance"
+    component that single-benchmark reporting hides.
+    """
+    cuts = []
+    for mutant in mutant_family(hypergraph, num_mutants, base_seed=seed):
+        result = partitioner.partition(mutant.hypergraph, seed=seed)
+        # Cross-check: the translated assignment has the same cut on
+        # the base instance (isomorphism sanity).
+        base_assignment = mutant.translate_assignment(result.assignment)
+        base_cut = hypergraph.cut_size(base_assignment)
+        if abs(base_cut - result.cut) > 1e-9:
+            raise AssertionError(
+                "mutant translation changed the cut: "
+                f"{result.cut} vs {base_cut}"
+            )
+        cuts.append(result.cut)
+    return cuts

@@ -1,0 +1,94 @@
+"""Hypergraph coarsening: contract a clustering into a coarse level.
+
+Given a cluster map (one cluster id per fine vertex), the coarse
+hypergraph has one vertex per cluster whose weight is the cluster's total
+area.  Nets project onto clusters with duplicate pins merged; nets that
+collapse to fewer than two pins disappear, and *identical* coarse nets
+are merged with their weights summed (the standard hMetis optimization —
+it keeps gain magnitudes honest across levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass
+class CoarseLevel:
+    """One level of the coarsening hierarchy.
+
+    Attributes
+    ----------
+    fine:
+        The finer hypergraph this level was built from.
+    coarse:
+        The contracted hypergraph.
+    cluster_of:
+        Fine vertex -> coarse vertex map (length ``fine.num_vertices``).
+    """
+
+    fine: Hypergraph
+    coarse: Hypergraph
+    cluster_of: List[int]
+
+    def project_assignment(self, coarse_assignment: List[int]) -> List[int]:
+        """Lift a coarse assignment to the fine hypergraph."""
+        return [coarse_assignment[self.cluster_of[v]] for v in
+                range(self.fine.num_vertices)]
+
+
+def coarsen(hypergraph: Hypergraph, cluster_of: List[int]) -> CoarseLevel:
+    """Contract ``hypergraph`` according to ``cluster_of``.
+
+    Cluster ids may be arbitrary non-negative integers; they are
+    renumbered densely.  Raises ``ValueError`` on negative ids or a map
+    of the wrong length.
+    """
+    n = hypergraph.num_vertices
+    if len(cluster_of) != n:
+        raise ValueError("cluster_of length mismatch")
+
+    dense: Dict[int, int] = {}
+    mapped = [0] * n
+    for v in range(n):
+        c = cluster_of[v]
+        if c < 0:
+            raise ValueError(f"vertex {v} has negative cluster id {c}")
+        d = dense.get(c)
+        if d is None:
+            d = len(dense)
+            dense[c] = d
+        mapped[v] = d
+    num_coarse = len(dense)
+
+    weights = [0.0] * num_coarse
+    for v in range(n):
+        weights[mapped[v]] += hypergraph.vertex_weight(v)
+
+    # Project nets; merge identical coarse nets by pin-tuple key.
+    net_index: Dict[Tuple[int, ...], int] = {}
+    coarse_nets: List[List[int]] = []
+    coarse_net_weights: List[float] = []
+    for e in range(hypergraph.num_nets):
+        pins = sorted({mapped[v] for v in hypergraph.pins_of(e)})
+        if len(pins) < 2:
+            continue
+        key = tuple(pins)
+        idx = net_index.get(key)
+        if idx is None:
+            net_index[key] = len(coarse_nets)
+            coarse_nets.append(pins)
+            coarse_net_weights.append(hypergraph.net_weight(e))
+        else:
+            coarse_net_weights[idx] += hypergraph.net_weight(e)
+
+    coarse = Hypergraph(
+        coarse_nets,
+        num_vertices=num_coarse,
+        vertex_weights=weights,
+        net_weights=coarse_net_weights,
+    )
+    return CoarseLevel(fine=hypergraph, coarse=coarse, cluster_of=mapped)

@@ -1,0 +1,251 @@
+"""Clustering/matching schemes for multilevel coarsening.
+
+Two standard schemes:
+
+* :func:`heavy_edge_matching` — pairwise matching maximizing hyperedge
+  connectivity (each net of size ``s`` contributes ``w/(s-1)`` to each
+  pin pair), the scheme popularized by METIS/hMetis.
+* :func:`first_choice_clustering` — hMetis-style FC clustering: vertices
+  may join already-formed clusters, giving stronger size reduction per
+  level.
+
+Both respect a cluster-weight cap so coarsening cannot manufacture
+unbalanceable coarse vertices, and both skip very large nets (clock-like
+nets carry no clustering signal and would make matching quadratic).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def _connectivity_to_neighbors(
+    hypergraph: Hypergraph,
+    v: int,
+    max_net_size: int,
+) -> Dict[int, float]:
+    """Map of neighbour -> summed connectivity weight for vertex ``v``."""
+    conn: Dict[int, float] = {}
+    for e in hypergraph.nets_of(v):
+        size = hypergraph.net_size(e)
+        if size < 2 or size > max_net_size:
+            continue
+        w = hypergraph.net_weight(e) / (size - 1)
+        for u in hypergraph.pins_of(e):
+            if u != v:
+                conn[u] = conn.get(u, 0.0) + w
+    return conn
+
+
+def heavy_edge_matching(
+    hypergraph: Hypergraph,
+    rng: random.Random,
+    max_cluster_weight: Optional[float] = None,
+    max_net_size: int = 40,
+    fixed_parts: Optional[List[Optional[int]]] = None,
+) -> List[int]:
+    """Heavy-edge matching; returns a cluster id per vertex.
+
+    Vertices are visited in random order; each unmatched vertex picks
+    its unmatched neighbour with maximum connectivity whose combined
+    weight stays below ``max_cluster_weight``.  Unmatchable vertices
+    become singleton clusters.  When ``fixed_parts`` is given, vertices
+    fixed to different sides are never merged (a merged cluster could
+    not respect both constraints).
+    """
+    n = hypergraph.num_vertices
+    if max_cluster_weight is None:
+        max_cluster_weight = _default_cluster_cap(hypergraph)
+    cluster = [-1] * n
+    order = list(range(n))
+    rng.shuffle(order)
+    next_id = 0
+    for v in order:
+        if cluster[v] != -1:
+            continue
+        best_u = -1
+        best_c = 0.0
+        wv = hypergraph.vertex_weight(v)
+        for u, c in _connectivity_to_neighbors(hypergraph, v, max_net_size).items():
+            if cluster[u] != -1:
+                continue
+            if wv + hypergraph.vertex_weight(u) > max_cluster_weight:
+                continue
+            if fixed_parts is not None and _fixed_conflict(fixed_parts, v, u):
+                continue
+            if c > best_c:
+                best_c = c
+                best_u = u
+        cluster[v] = next_id
+        if best_u != -1:
+            cluster[best_u] = next_id
+        next_id += 1
+    return cluster
+
+
+def first_choice_clustering(
+    hypergraph: Hypergraph,
+    rng: random.Random,
+    max_cluster_weight: Optional[float] = None,
+    max_net_size: int = 40,
+    fixed_parts: Optional[List[Optional[int]]] = None,
+) -> List[int]:
+    """First-choice clustering; returns a cluster id per vertex.
+
+    Like heavy-edge matching, but a vertex may join the cluster of an
+    already-clustered neighbour, so clusters can exceed size two.  This
+    is the scheme hMetis 1.5 uses by default.
+    """
+    n = hypergraph.num_vertices
+    if max_cluster_weight is None:
+        max_cluster_weight = _default_cluster_cap(hypergraph)
+    cluster = [-1] * n
+    cluster_weight: List[float] = []
+    cluster_fixed: List[Optional[int]] = []
+    order = list(range(n))
+    rng.shuffle(order)
+    for v in order:
+        if cluster[v] != -1:
+            continue
+        wv = hypergraph.vertex_weight(v)
+        fv = fixed_parts[v] if fixed_parts is not None else None
+        best_cluster = -1
+        best_c = 0.0
+        for u, c in _connectivity_to_neighbors(hypergraph, v, max_net_size).items():
+            cu = cluster[u]
+            if cu == -1:
+                continue
+            if cluster_weight[cu] + wv > max_cluster_weight:
+                continue
+            cf = cluster_fixed[cu]
+            if fv is not None and cf is not None and fv != cf:
+                continue
+            if c > best_c:
+                best_c = c
+                best_cluster = cu
+        if best_cluster == -1:
+            cluster[v] = len(cluster_weight)
+            cluster_weight.append(wv)
+            cluster_fixed.append(fv)
+        else:
+            cluster[v] = best_cluster
+            cluster_weight[best_cluster] += wv
+            if fv is not None:
+                cluster_fixed[best_cluster] = fv
+    return cluster
+
+
+def hyperedge_coarsening(
+    hypergraph: Hypergraph,
+    rng: random.Random,
+    max_cluster_weight: Optional[float] = None,
+    max_net_size: int = 40,
+    fixed_parts: Optional[List[Optional[int]]] = None,
+) -> List[int]:
+    """hMetis-style hyperedge coarsening (HEC); returns cluster ids.
+
+    Nets are visited heaviest-first (ties: smaller first, then random
+    order); a net all of whose pins are still unclustered is contracted
+    into a single cluster, provided the merged weight respects the cap
+    and no two pins are fixed to different sides.  Leftover vertices
+    become singletons.  Entire small nets vanish at once, which is HEC's
+    advantage over pairwise matching on netlists dominated by 2-3 pin
+    nets.
+    """
+    n = hypergraph.num_vertices
+    if max_cluster_weight is None:
+        max_cluster_weight = _default_cluster_cap(hypergraph)
+    cluster = [-1] * n
+    order = list(hypergraph.nets())
+    rng.shuffle(order)
+    order.sort(
+        key=lambda e: (-hypergraph.net_weight(e), hypergraph.net_size(e))
+    )
+    next_id = 0
+    for e in order:
+        size = hypergraph.net_size(e)
+        if size < 2 or size > max_net_size:
+            continue
+        pins = hypergraph.pins_of(e)
+        if any(cluster[v] != -1 for v in pins):
+            continue
+        total = sum(hypergraph.vertex_weight(v) for v in pins)
+        if total > max_cluster_weight:
+            continue
+        if fixed_parts is not None:
+            sides = {
+                fixed_parts[v] for v in pins if fixed_parts[v] is not None
+            }
+            if len(sides) > 1:
+                continue
+        for v in pins:
+            cluster[v] = next_id
+        next_id += 1
+    for v in range(n):
+        if cluster[v] == -1:
+            cluster[v] = next_id
+            next_id += 1
+    return cluster
+
+
+def restricted_matching(
+    hypergraph: Hypergraph,
+    assignment: List[int],
+    rng: random.Random,
+    max_cluster_weight: Optional[float] = None,
+    max_net_size: int = 40,
+) -> List[int]:
+    """Partition-respecting matching for V-cycling (Karypis et al.).
+
+    Identical to heavy-edge matching except that only vertices on the
+    *same side* of ``assignment`` may merge, so the current solution
+    projects exactly onto the coarse hypergraph.
+    """
+    n = hypergraph.num_vertices
+    if max_cluster_weight is None:
+        max_cluster_weight = _default_cluster_cap(hypergraph)
+    cluster = [-1] * n
+    order = list(range(n))
+    rng.shuffle(order)
+    next_id = 0
+    for v in order:
+        if cluster[v] != -1:
+            continue
+        best_u = -1
+        best_c = 0.0
+        wv = hypergraph.vertex_weight(v)
+        for u, c in _connectivity_to_neighbors(hypergraph, v, max_net_size).items():
+            if cluster[u] != -1 or assignment[u] != assignment[v]:
+                continue
+            if wv + hypergraph.vertex_weight(u) > max_cluster_weight:
+                continue
+            if c > best_c:
+                best_c = c
+                best_u = u
+        cluster[v] = next_id
+        if best_u != -1:
+            cluster[best_u] = next_id
+        next_id += 1
+    return cluster
+
+
+def _default_cluster_cap(hypergraph: Hypergraph) -> float:
+    """Default cluster-weight cap: 4x the average vertex weight, but at
+    least the largest existing vertex (macros must stay placeable)."""
+    n = max(hypergraph.num_vertices, 1)
+    avg = hypergraph.total_vertex_weight / n
+    biggest = max(
+        (hypergraph.vertex_weight(v) for v in hypergraph.vertices()),
+        default=1.0,
+    )
+    return max(4.0 * avg, biggest)
+
+
+def _fixed_conflict(
+    fixed_parts: List[Optional[int]], v: int, u: int
+) -> bool:
+    fv, fu = fixed_parts[v], fixed_parts[u]
+    return fv is not None and fu is not None and fv != fu

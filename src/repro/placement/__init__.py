@@ -1,0 +1,19 @@
+"""Top-down placement — the application context that motivates the
+paper's partitioning use model (speed, fixed terminals, tight runtime
+budgets)."""
+
+from repro.placement.congestion import CongestionMap, estimate_congestion
+from repro.placement.detailed import DetailedPlacementResult, DetailedPlacer
+from repro.placement.regions import Region, spread_cells_in_region
+from repro.placement.topdown import Placement, TopDownPlacer
+
+__all__ = [
+    "CongestionMap",
+    "DetailedPlacementResult",
+    "DetailedPlacer",
+    "Placement",
+    "Region",
+    "TopDownPlacer",
+    "estimate_congestion",
+    "spread_cells_in_region",
+]

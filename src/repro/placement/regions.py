@@ -1,0 +1,101 @@
+"""Placement regions for top-down recursive bisection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned placement region holding a set of cells.
+
+    Coordinates follow the usual CAD convention: ``(x0, y0)`` lower-left,
+    ``(x1, y1)`` upper-right.
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    cells: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError("degenerate region")
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def cut_vertically(self) -> bool:
+        """Preferred cut direction: split the longer side.
+
+        A vertical cutline divides the x-range — chosen when the region
+        is wider than tall.
+        """
+        return self.width >= self.height
+
+    def split(
+        self,
+        vertical: bool,
+        fraction: float,
+        cells0: Tuple[int, ...],
+        cells1: Tuple[int, ...],
+    ) -> Tuple["Region", "Region"]:
+        """Split the region at ``fraction`` of its extent.
+
+        ``fraction`` is the share of the geometric extent given to side
+        0 — normally the share of total cell area assigned there, so
+        both halves have similar density.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        if vertical:
+            xm = self.x0 + self.width * fraction
+            return (
+                Region(self.x0, self.y0, xm, self.y1, cells0),
+                Region(xm, self.y0, self.x1, self.y1, cells1),
+            )
+        ym = self.y0 + self.height * fraction
+        return (
+            Region(self.x0, self.y0, self.x1, ym, cells0),
+            Region(self.x0, ym, self.x1, self.y1, cells1),
+        )
+
+
+def spread_cells_in_region(
+    region: Region, order: List[int]
+) -> List[Tuple[int, float, float]]:
+    """Place ``order``'s cells on a uniform grid inside ``region``.
+
+    The final legalization step of the toy flow: once regions are small,
+    cells are spread row-major over a near-square grid.  Returns
+    ``(cell, x, y)`` triples.
+    """
+    k = len(order)
+    if k == 0:
+        return []
+    import math
+
+    cols = max(1, int(math.ceil(math.sqrt(k))))
+    rows = max(1, int(math.ceil(k / cols)))
+    out = []
+    for i, cell in enumerate(order):
+        r, c = divmod(i, cols)
+        x = region.x0 + (c + 0.5) * region.width / cols
+        y = region.y0 + (r + 0.5) * region.height / rows
+        out.append((cell, x, y))
+    return out

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.instances import generate_circuit
+
+
+@pytest.fixture
+def tiny() -> Hypergraph:
+    """A 6-vertex hypergraph with a known optimal bisection.
+
+    Vertices 0-2 form a triangle of 2-pin nets, 3-5 another; one 3-pin
+    net bridges the halves.  Optimal balanced cut = 1.
+    """
+    nets = [
+        [0, 1],
+        [1, 2],
+        [0, 2],
+        [3, 4],
+        [4, 5],
+        [3, 5],
+        [2, 3, 4],
+    ]
+    return Hypergraph(nets, num_vertices=6)
+
+
+@pytest.fixture
+def weighted_tiny() -> Hypergraph:
+    """Same topology, non-unit areas and net weights."""
+    nets = [
+        [0, 1],
+        [1, 2],
+        [0, 2],
+        [3, 4],
+        [4, 5],
+        [3, 5],
+        [2, 3, 4],
+    ]
+    return Hypergraph(
+        nets,
+        num_vertices=6,
+        vertex_weights=[1, 2, 3, 3, 2, 1],
+        net_weights=[1, 1, 2, 2, 1, 1, 3],
+    )
+
+
+@pytest.fixture
+def circuit300() -> Hypergraph:
+    """Mid-size clustered instance for engine tests."""
+    return generate_circuit(300, seed=42)
+
+
+@pytest.fixture
+def circuit300_unit() -> Hypergraph:
+    """Unit-area variant (MCNC-style)."""
+    return generate_circuit(300, seed=42, unit_areas=True)

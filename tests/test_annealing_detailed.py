@@ -1,0 +1,91 @@
+"""Tests for simulated annealing and detailed placement."""
+
+import pytest
+
+from repro.baselines import AnnealingPartitioner, RandomPartitioner
+from repro.instances import generate_circuit
+from repro.placement import DetailedPlacer, TopDownPlacer
+
+
+@pytest.fixture(scope="module")
+def hg():
+    return generate_circuit(120, seed=120)
+
+
+class TestAnnealing:
+    def test_improves_over_random(self, hg):
+        sa = AnnealingPartitioner(tolerance=0.1).partition(hg, seed=0)
+        rnd = RandomPartitioner(tolerance=0.1).partition(hg, seed=0)
+        assert sa.cut < rnd.cut
+        assert sa.legal
+        assert sa.cut == hg.cut_size(sa.assignment)
+
+    def test_deterministic(self, hg):
+        a = AnnealingPartitioner(tolerance=0.1).partition(hg, seed=3)
+        b = AnnealingPartitioner(tolerance=0.1).partition(hg, seed=3)
+        assert a.assignment == b.assignment
+
+    def test_respects_fixed(self, hg):
+        fixed = [None] * hg.num_vertices
+        fixed[0], fixed[1] = 0, 1
+        r = AnnealingPartitioner(tolerance=0.1).partition(
+            hg, seed=0, fixed_parts=fixed
+        )
+        assert r.assignment[0] == 0
+        assert r.assignment[1] == 1
+
+    def test_all_fixed_returns_immediately(self, hg):
+        fixed = [v % 2 for v in range(hg.num_vertices)]
+        r = AnnealingPartitioner(tolerance=0.9).partition(
+            hg, seed=0, fixed_parts=fixed
+        )
+        assert r.assignment == fixed
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingPartitioner(cooling=1.5)
+        with pytest.raises(ValueError):
+            AnnealingPartitioner(initial_acceptance=0.0)
+
+    def test_slower_but_comparable_to_fm(self, hg):
+        """SA's profile: much more CPU per start, decent final quality —
+        the property that makes BSF-style comparison necessary."""
+        from repro.core import FMPartitioner
+
+        sa = AnnealingPartitioner(tolerance=0.1).partition(hg, seed=0)
+        fm = FMPartitioner(tolerance=0.1).partition(hg, seed=0)
+        assert sa.runtime_seconds > fm.runtime_seconds
+        assert sa.cut <= fm.cut * 3
+
+
+class TestDetailedPlacement:
+    def test_improves_hpwl(self, hg):
+        coarse = TopDownPlacer(seed=1).place(hg)
+        result = DetailedPlacer(seed=2).refine(coarse)
+        assert result.final_hpwl < result.initial_hpwl
+        assert result.improvement_percent > 0
+        assert result.moves_accepted > 0
+        # Coarse placement object untouched.
+        assert coarse.hpwl() == pytest.approx(result.initial_hpwl)
+
+    def test_positions_cover_all_cells(self, hg):
+        coarse = TopDownPlacer(seed=1).place(hg)
+        result = DetailedPlacer(seed=2).refine(coarse)
+        assert set(result.positions) == set(coarse.positions)
+
+    def test_deterministic(self, hg):
+        coarse = TopDownPlacer(seed=1).place(hg)
+        a = DetailedPlacer(seed=5).refine(coarse)
+        b = DetailedPlacer(seed=5).refine(coarse)
+        assert a.final_hpwl == b.final_hpwl
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DetailedPlacer(cooling=0.0)
+
+    def test_full_flow_beats_coarse_only(self, hg):
+        """The paper's use model end-to-end: coarse min-cut placement
+        plus stochastic hill-climbing refinement."""
+        coarse = TopDownPlacer(seed=1).place(hg)
+        refined = DetailedPlacer(seed=2, moves_per_cell=6.0).refine(coarse)
+        assert refined.final_hpwl < 0.97 * coarse.hpwl()

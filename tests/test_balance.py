@@ -1,0 +1,70 @@
+"""Tests for the paper's balance-constraint semantics."""
+
+import pytest
+
+from repro.core import BalanceConstraint
+
+
+def test_2pct_means_49_51():
+    b = BalanceConstraint(total_weight=100.0, tolerance=0.02)
+    assert b.lower_bound == pytest.approx(49.0)
+    assert b.upper_bound == pytest.approx(51.0)
+    assert b.slack == pytest.approx(2.0)
+
+
+def test_10pct_means_45_55():
+    b = BalanceConstraint(total_weight=100.0, tolerance=0.10)
+    assert b.lower_bound == pytest.approx(45.0)
+    assert b.upper_bound == pytest.approx(55.0)
+
+
+def test_is_legal():
+    b = BalanceConstraint(100.0, 0.10)
+    assert b.is_legal([50.0, 50.0])
+    assert b.is_legal([45.0, 55.0])
+    assert not b.is_legal([44.9, 55.1])
+    assert not b.is_legal([60.0, 40.0])
+
+
+def test_move_is_legal_single_check_suffices():
+    b = BalanceConstraint(100.0, 0.10)
+    # dest at 54, moving weight 1 -> 55 = upper bound: legal.
+    assert b.move_is_legal(dest_weight=54.0, moved_weight=1.0)
+    assert not b.move_is_legal(dest_weight=54.5, moved_weight=1.0)
+    # 2-way complementarity: dest' <= hi implies src' >= lo.
+    dest_after = 54.0 + 1.0
+    src_after = 100.0 - dest_after
+    assert src_after >= b.lower_bound
+
+
+def test_violation_zero_when_legal():
+    b = BalanceConstraint(100.0, 0.10)
+    assert b.violation([50.0, 50.0]) == 0.0
+
+
+def test_violation_amount():
+    b = BalanceConstraint(100.0, 0.10)
+    assert b.violation([40.0, 60.0]) == pytest.approx(10.0)
+
+
+def test_distance_from_bounds():
+    b = BalanceConstraint(100.0, 0.10)
+    assert b.distance_from_bounds([50.0, 50.0]) == pytest.approx(5.0)
+    assert b.distance_from_bounds([45.0, 55.0]) == pytest.approx(0.0)
+    assert b.distance_from_bounds([44.0, 56.0]) < 0
+
+
+def test_exact_bisection_tolerance_zero():
+    b = BalanceConstraint(100.0, 0.0)
+    assert b.is_legal([50.0, 50.0])
+    assert not b.is_legal([49.0, 51.0])
+    assert b.slack == 0.0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        BalanceConstraint(-1.0, 0.1)
+    with pytest.raises(ValueError):
+        BalanceConstraint(100.0, 1.0)
+    with pytest.raises(ValueError):
+        BalanceConstraint(100.0, -0.1)

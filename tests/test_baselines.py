@@ -1,0 +1,111 @@
+"""Tests for the baseline partitioners."""
+
+import pytest
+
+from repro.baselines import (
+    BFSGrowthPartitioner,
+    KLPartitioner,
+    RandomPartitioner,
+    SpectralPartitioner,
+    WeakFM,
+    weak_config,
+)
+from repro.core import FMPartitioner, run_multistart
+from repro.instances import generate_circuit
+
+
+@pytest.fixture(scope="module")
+def hg():
+    return generate_circuit(150, seed=70)
+
+
+@pytest.fixture(scope="module")
+def hg_unit():
+    return generate_circuit(150, seed=70, unit_areas=True)
+
+
+class TestKL:
+    def test_improves_over_random(self, hg_unit):
+        kl = KLPartitioner().partition(hg_unit, seed=0)
+        rnd = RandomPartitioner().partition(hg_unit, seed=0)
+        assert kl.cut < rnd.cut
+
+    def test_cardinality_balance(self, hg_unit):
+        r = KLPartitioner().partition(hg_unit, seed=1)
+        n0 = r.assignment.count(0)
+        n1 = r.assignment.count(1)
+        assert abs(n0 - n1) <= 1
+
+    def test_deterministic(self, hg_unit):
+        a = KLPartitioner().partition(hg_unit, seed=2)
+        b = KLPartitioner().partition(hg_unit, seed=2)
+        assert a.assignment == b.assignment
+
+    def test_fixed_unsupported(self, hg_unit):
+        with pytest.raises(NotImplementedError):
+            KLPartitioner().partition(
+                hg_unit, seed=0, fixed_parts=[0] + [None] * 149
+            )
+
+
+class TestSpectral:
+    def test_legal_and_better_than_random(self, hg):
+        sp = SpectralPartitioner(tolerance=0.1).partition(hg, seed=0)
+        rnd = RandomPartitioner(tolerance=0.1).partition(hg, seed=0)
+        assert sp.legal
+        assert sp.cut < rnd.cut
+
+    def test_cut_reported_correctly(self, hg):
+        r = SpectralPartitioner(tolerance=0.1).partition(hg, seed=0)
+        assert r.cut == hg.cut_size(r.assignment)
+
+    def test_fixed_unsupported(self, hg):
+        with pytest.raises(NotImplementedError):
+            SpectralPartitioner().partition(
+                hg, seed=0, fixed_parts=[0] + [None] * 149
+            )
+
+
+class TestTrivialBaselines:
+    def test_random_is_legal(self, hg):
+        r = RandomPartitioner(tolerance=0.1).partition(hg, seed=0)
+        assert r.legal
+
+    def test_bfs_beats_random_on_average(self, hg):
+        bfs = run_multistart(BFSGrowthPartitioner(tolerance=0.1), hg, 6)
+        rnd = run_multistart(RandomPartitioner(tolerance=0.1), hg, 6)
+        assert bfs.avg_cut < rnd.avg_cut
+
+    def test_names(self):
+        assert RandomPartitioner().name
+        assert BFSGrowthPartitioner().name
+
+
+class TestWeakFM:
+    def test_weak_config_choices(self):
+        cfg = weak_config()
+        assert cfg.guard_oversized is False
+        assert cfg.max_passes == 1
+        assert cfg.insertion_order.value == "fifo"
+        assert cfg.update_policy.value == "all"
+
+    def test_strong_dominates_weak(self, hg):
+        """The Tables 2-3 shape: 'Our' FM beats 'Reported' FM on both
+        min and average cut."""
+        weak = run_multistart(WeakFM(tolerance=0.1), hg, 6)
+        strong = run_multistart(FMPartitioner(tolerance=0.1), hg, 6)
+        assert strong.min_cut <= weak.min_cut
+        assert strong.avg_cut < weak.avg_cut
+
+    def test_weak_clip_variant(self, hg):
+        r = WeakFM(clip=True, tolerance=0.1).partition(hg, seed=0)
+        assert r.cut == hg.cut_size(r.assignment)
+
+    def test_name_distinguishes_modes(self):
+        assert "CLIP" in WeakFM(clip=True).name
+        assert "LIFO" in WeakFM(clip=False).name
+
+    def test_multi_pass_weak_variant(self, hg):
+        single = run_multistart(WeakFM(tolerance=0.1, single_pass=True), hg, 4)
+        multi = run_multistart(WeakFM(tolerance=0.1, single_pass=False), hg, 4)
+        assert multi.avg_cut <= single.avg_cut

@@ -1,0 +1,99 @@
+"""Tests for BSF curves and c_tau distributions."""
+
+import random
+
+import pytest
+
+from repro.evaluation import (
+    TrialRecord,
+    bsf_trajectory,
+    c_tau_samples,
+    default_tau_grid,
+    expected_bsf_curve,
+    probability_reaching,
+)
+
+
+def rec(cut, t, seed=0):
+    return TrialRecord(
+        heuristic="h", instance="i", seed=seed, cut=cut,
+        runtime_seconds=t, legal=True,
+    )
+
+
+class TestTrajectory:
+    def test_monotone_cost_and_time(self):
+        rs = [rec(30, 1.0), rec(25, 1.0), rec(40, 1.0), rec(20, 1.0)]
+        traj = bsf_trajectory(rs)
+        costs = [p.cost for p in traj]
+        times = [p.time for p in traj]
+        assert costs == sorted(costs, reverse=True)
+        assert times == sorted(times)
+        assert costs[-1] == 20
+        assert times[-1] == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bsf_trajectory([])
+
+
+class TestCTau:
+    def test_budget_cuts_off_starts(self):
+        rs = [rec(30, 1.0), rec(10, 1.0)]
+        # tau = 1.5 admits exactly one start per ordering.
+        samples = c_tau_samples(rs, 1.5, num_shuffles=100, rng=random.Random(0))
+        assert set(samples) == {30.0, 10.0}
+
+    def test_large_budget_always_finds_best(self):
+        rs = [rec(30, 1.0), rec(10, 1.0), rec(20, 1.0)]
+        samples = c_tau_samples(rs, 100.0, num_shuffles=20)
+        assert all(s == 10.0 for s in samples)
+
+    def test_tiny_budget_gives_no_samples(self):
+        rs = [rec(30, 1.0)]
+        assert c_tau_samples(rs, 0.5, num_shuffles=10) == []
+
+
+class TestExpectedCurve:
+    def test_monotone_non_increasing(self):
+        rng = random.Random(1)
+        rs = [rec(rng.randint(10, 50), 1.0, seed=s) for s in range(20)]
+        taus = [1.0, 2.0, 5.0, 10.0, 20.0]
+        curve = expected_bsf_curve(rs, taus, num_shuffles=300)
+        values = [c for _, c in curve if c is not None]
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-9
+
+    def test_undefined_budgets_marked(self):
+        rs = [rec(30, 1.0)]
+        curve = expected_bsf_curve(rs, [0.1, 2.0], num_shuffles=10)
+        assert curve[0][1] is None
+        assert curve[1][1] == 30.0
+
+
+class TestProbabilityReaching:
+    def test_certain_and_impossible(self):
+        rs = [rec(10, 1.0), rec(30, 1.0)]
+        assert probability_reaching(rs, 100.0, 10.0, num_shuffles=50) == 1.0
+        assert probability_reaching(rs, 100.0, 5.0, num_shuffles=50) == 0.0
+
+    def test_single_start_budget_is_half(self):
+        rs = [rec(10, 1.0), rec(30, 1.0)]
+        p = probability_reaching(
+            rs, 1.5, 10.0, num_shuffles=2000, rng=random.Random(0)
+        )
+        assert 0.4 < p < 0.6
+
+
+class TestTauGrid:
+    def test_geometric_span(self):
+        rs = [rec(30, 1.0), rec(20, 2.0), rec(10, 4.0)]
+        grid = default_tau_grid(rs, points=5)
+        assert len(grid) == 5
+        assert grid[0] == pytest.approx(1.0)
+        assert grid[-1] == pytest.approx(7.0)
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            default_tau_grid([])

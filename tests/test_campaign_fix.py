@@ -1,0 +1,118 @@
+"""Tests for experiment campaigns and hMetis fix-file I/O."""
+
+import pytest
+
+from repro.core import FMConfig, FMPartitioner
+from repro.evaluation import CampaignResult, CampaignSpec, run_campaign
+from repro.hypergraph import read_fix, write_fix
+from repro.instances import generate_circuit
+
+
+@pytest.fixture(scope="module")
+def hg():
+    return generate_circuit(120, seed=130)
+
+
+@pytest.fixture(scope="module")
+def campaign_result(hg):
+    spec = CampaignSpec(
+        name="unit-test-campaign",
+        heuristics=[
+            FMPartitioner(tolerance=0.1, name="Flat LIFO FM"),
+            FMPartitioner(FMConfig(clip=True), tolerance=0.1, name="Flat CLIP FM"),
+        ],
+        instances={"a": hg},
+        num_starts=6,
+    )
+    return run_campaign(spec)
+
+
+class TestCampaign:
+    def test_spec_validation(self, hg):
+        with pytest.raises(ValueError):
+            CampaignSpec("x", [], {"a": hg})
+        with pytest.raises(ValueError):
+            CampaignSpec("x", [FMPartitioner()], {})
+        with pytest.raises(ValueError):
+            CampaignSpec("x", [FMPartitioner()], {"a": hg}, num_starts=0)
+
+    def test_duplicate_names_rejected(self, hg):
+        with pytest.raises(ValueError, match="unique"):
+            CampaignSpec(
+                "x",
+                [FMPartitioner(name="same"), FMPartitioner(name="same")],
+                {"a": hg},
+            )
+
+    def test_records_complete(self, campaign_result):
+        assert len(campaign_result.records) == 12  # 2 heuristics x 6 starts
+        assert campaign_result.heuristic_names() == [
+            "Flat CLIP FM",
+            "Flat LIFO FM",
+        ]
+        assert campaign_result.instance_names() == ["a"]
+
+    def test_report_contains_all_sections(self, campaign_result):
+        report = campaign_result.report(num_shuffles=30)
+        assert "Traditional multistart table" in report
+        assert "Non-dominated frontier" in report
+        assert "Speed-dependent ranking" in report
+        assert "Pairwise significance" in report
+
+    def test_significance_matrix_symmetry(self, campaign_result):
+        matrix = campaign_result.significance_matrix()
+        # Diagonal dots and consistent cells exist.
+        assert "." in matrix
+        assert any(c in matrix for c in "<>~")
+
+    def test_save(self, campaign_result, tmp_path):
+        out = campaign_result.save(tmp_path)
+        assert (out / "records.jsonl").exists()
+        assert (out / "report.txt").exists()
+        from repro.evaluation import load_records
+
+        back = load_records(out / "records.jsonl")
+        assert back == campaign_result.records
+
+    def test_result_reconstructible(self, campaign_result):
+        clone = CampaignResult(
+            spec_name="clone", records=list(campaign_result.records)
+        )
+        assert clone.heuristic_names() == campaign_result.heuristic_names()
+
+
+class TestFixFile:
+    def test_round_trip(self, tmp_path, hg):
+        fixed = [None] * hg.num_vertices
+        fixed[0], fixed[5], fixed[7] = 0, 1, 0
+        path = tmp_path / "c.fix"
+        write_fix(fixed, path)
+        assert read_fix(path, hg) == fixed
+
+    def test_minus_one_is_free(self, tmp_path):
+        path = tmp_path / "c.fix"
+        path.write_text("-1\n0\n1\n-1\n")
+        assert read_fix(path) == [None, 0, 1, None]
+
+    def test_invalid_entry_rejected(self, tmp_path):
+        path = tmp_path / "c.fix"
+        path.write_text("-2\n")
+        with pytest.raises(ValueError):
+            read_fix(path)
+
+    def test_length_validation(self, tmp_path, hg):
+        path = tmp_path / "c.fix"
+        write_fix([0, 1], path)
+        with pytest.raises(ValueError):
+            read_fix(path, hg)
+
+    def test_fix_file_drives_partitioner(self, tmp_path, hg):
+        fixed = [None] * hg.num_vertices
+        for v in range(10):
+            fixed[v] = v % 2
+        path = tmp_path / "c.fix"
+        write_fix(fixed, path)
+        loaded = read_fix(path, hg)
+        r = FMPartitioner(tolerance=0.1).partition(hg, seed=0, fixed_parts=loaded)
+        for v in range(10):
+            assert r.assignment[v] == v % 2

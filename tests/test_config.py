@@ -1,0 +1,65 @@
+"""Tests for FMConfig and its presets."""
+
+import pytest
+
+from repro.core import (
+    STRONG_CLIP,
+    STRONG_LIFO,
+    WORST_FLAT,
+    BestChoice,
+    FMConfig,
+    InsertionOrder,
+    TieBias,
+    UpdatePolicy,
+)
+
+
+def test_defaults_are_the_strong_choices():
+    cfg = FMConfig()
+    assert cfg.update_policy is UpdatePolicy.NONZERO
+    assert cfg.insertion_order is InsertionOrder.LIFO
+    assert cfg.guard_oversized is True
+    assert not cfg.clip
+
+
+def test_describe_tags():
+    assert FMConfig().describe() == "FM/nonzero/away/lifo"
+    assert FMConfig(clip=True).describe().startswith("CLIP/")
+
+
+def test_with_options_is_functional():
+    cfg = FMConfig()
+    other = cfg.with_options(tie_bias=TieBias.TOWARD, max_passes=2)
+    assert other.tie_bias is TieBias.TOWARD
+    assert other.max_passes == 2
+    assert cfg.tie_bias is TieBias.AWAY  # original untouched
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        FMConfig().clip = True  # type: ignore[misc]
+
+
+def test_as_dict_round_trip_values():
+    d = FMConfig(clip=True, best_choice=BestChoice.LAST).as_dict()
+    assert d["clip"] is True
+    assert d["best_choice"] == "last"
+    assert d["update_policy"] == "nonzero"
+    assert set(d) >= {
+        "clip",
+        "update_policy",
+        "tie_bias",
+        "insertion_order",
+        "best_choice",
+        "illegal_head",
+        "initial_solution",
+        "guard_oversized",
+        "max_passes",
+    }
+
+
+def test_presets():
+    assert not STRONG_LIFO.clip
+    assert STRONG_CLIP.clip
+    assert WORST_FLAT.update_policy is UpdatePolicy.ALL
+    assert WORST_FLAT.tie_bias is TieBias.PART0

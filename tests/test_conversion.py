@@ -1,0 +1,55 @@
+"""Tests for clique/star expansions and NetworkX conversion."""
+
+import pytest
+
+from repro.hypergraph import clique_expansion, star_expansion, to_networkx
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def test_clique_expansion_two_pin_net_exact():
+    hg = Hypergraph([[0, 1]], num_vertices=2, net_weights=[3.0])
+    edges = clique_expansion(hg)
+    assert edges == {(0, 1): 3.0}
+
+
+def test_clique_expansion_scaling(tiny):
+    edges = clique_expansion(tiny)
+    # 3-pin net {2,3,4} contributes w/(s-1) = 0.5 per pair.
+    assert edges[(2, 3)] == pytest.approx(0.5)
+    assert edges[(2, 4)] == pytest.approx(0.5)
+    # 2-pin net (3,4) plus the 3-pin contribution.
+    assert edges[(3, 4)] == pytest.approx(1.5)
+
+
+def test_clique_expansion_accumulates_parallel_nets():
+    hg = Hypergraph([[0, 1], [0, 1]], num_vertices=2)
+    assert clique_expansion(hg)[(0, 1)] == pytest.approx(2.0)
+
+
+def test_clique_expansion_keys_ordered(tiny):
+    for (u, v) in clique_expansion(tiny):
+        assert u < v
+
+
+def test_star_expansion_structure(tiny):
+    g = star_expansion(tiny)
+    cells = [n for n, d in g.nodes(data=True) if d["kind"] == "cell"]
+    nets = [n for n, d in g.nodes(data=True) if d["kind"] == "net"]
+    assert len(cells) == 6
+    assert len(nets) == 7
+    # Star graph edges = total pins.
+    assert g.number_of_edges() == tiny.num_pins
+    # Bipartite: no cell-cell or net-net edges.
+    for u, v in g.edges():
+        kinds = {g.nodes[u]["kind"], g.nodes[v]["kind"]}
+        assert kinds == {"cell", "net"}
+
+
+def test_to_networkx_weights(weighted_tiny):
+    g = to_networkx(weighted_tiny)
+    assert g.nodes[2]["weight"] == 3.0
+    assert g.number_of_nodes() == 6
+    # Edge weight matches clique expansion.
+    edges = clique_expansion(weighted_tiny)
+    for (u, v), w in edges.items():
+        assert g[u][v]["weight"] == pytest.approx(w)

@@ -1,0 +1,17 @@
+"""Executable documentation: the package-level doctest must stay true."""
+
+import doctest
+
+import repro
+import repro.core.partitioner
+
+
+def test_package_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1
+
+
+def test_partitioner_doctest():
+    results = doctest.testmod(repro.core.partitioner, verbose=False)
+    assert results.failed == 0

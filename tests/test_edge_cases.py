@@ -1,0 +1,196 @@
+"""Edge cases and failure injection across the stack."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BalanceConstraint,
+    FMConfig,
+    FMEngine,
+    FMPartitioner,
+    Partition2,
+)
+from repro.hypergraph import Hypergraph
+from repro.instances import generate_circuit
+from repro.multilevel import MLPartitioner, coarsen
+from repro.placement import TopDownPlacer
+
+
+class TestDegenerateHypergraphs:
+    def test_no_nets(self):
+        hg = Hypergraph([], num_vertices=10)
+        result = FMPartitioner(tolerance=0.2).partition(hg, seed=0)
+        assert result.cut == 0.0
+        assert result.legal
+
+    def test_single_giant_net(self):
+        hg = Hypergraph([list(range(20))], num_vertices=20)
+        result = FMPartitioner(tolerance=0.2).partition(hg, seed=0)
+        # Any bisection cuts the single net; FM must not crash or loop.
+        assert result.cut == 1.0
+
+    def test_two_vertices(self):
+        hg = Hypergraph([[0, 1]], num_vertices=2)
+        result = FMPartitioner(tolerance=0.2).partition(hg, seed=0)
+        assert result.cut in (0.0, 1.0)
+
+    def test_zero_weight_vertices(self):
+        hg = Hypergraph(
+            [[0, 1], [1, 2], [2, 3]],
+            num_vertices=4,
+            vertex_weights=[0, 1, 1, 0],
+        )
+        result = FMPartitioner(tolerance=0.5).partition(hg, seed=0)
+        assert result.cut == hg.cut_size(result.assignment)
+
+    def test_parallel_identical_nets(self):
+        hg = Hypergraph([[0, 1]] * 10, num_vertices=2)
+        part = Partition2(hg, [0, 1])
+        assert part.cut == 10.0
+        part.move(0)
+        assert part.cut == 0.0
+
+    def test_star_topology(self):
+        # One hub on every net: worst case for gain updates.
+        nets = [[0, i] for i in range(1, 30)]
+        hg = Hypergraph(nets, num_vertices=30)
+        result = FMPartitioner(tolerance=0.2).partition(hg, seed=0)
+        assert result.legal
+
+
+class TestAllFixed:
+    def test_fm_noop_when_everything_fixed(self):
+        hg = generate_circuit(50, seed=1)
+        fixed = [v % 2 for v in range(50)]
+        result = FMPartitioner(tolerance=0.9).partition(
+            hg, seed=0, fixed_parts=fixed
+        )
+        assert result.assignment == fixed
+
+    def test_ml_with_everything_fixed(self):
+        hg = generate_circuit(200, seed=1)
+        fixed = [v % 2 for v in range(200)]
+        result = MLPartitioner(tolerance=0.9).partition(
+            hg, seed=0, fixed_parts=fixed
+        )
+        assert result.assignment == fixed
+
+
+class TestExtremeBalance:
+    def test_exact_bisection_unit_areas(self):
+        hg = generate_circuit(64, seed=3, unit_areas=True)
+        result = FMPartitioner(tolerance=0.0).partition(hg, seed=0)
+        counts = [result.assignment.count(0), result.assignment.count(1)]
+        assert counts[0] == counts[1] == 32
+
+    def test_vertex_heavier_than_half(self):
+        # One cell holds 60% of the area: no legal bisection exists at
+        # tight tolerance; the engine must terminate and report
+        # illegality honestly rather than loop or crash.
+        hg = Hypergraph(
+            [[0, 1], [1, 2], [2, 3]],
+            num_vertices=4,
+            vertex_weights=[60, 10, 20, 10],
+        )
+        result = FMPartitioner(tolerance=0.02).partition(hg, seed=0)
+        assert result.legal is False
+        assert result.cut == hg.cut_size(result.assignment)
+
+    def test_guard_excludes_everything(self):
+        # Tolerance so tight that every cell exceeds the slack: FM makes
+        # no moves but must still return the initial solution cleanly.
+        hg = Hypergraph(
+            [[0, 1], [2, 3]], num_vertices=4, vertex_weights=[10, 10, 10, 10]
+        )
+        balance = BalanceConstraint(40.0, 0.02)
+        assert all(hg.vertex_weight(v) > balance.slack for v in hg.vertices())
+        part = Partition2(hg, [0, 1, 0, 1])
+        result = FMEngine(balance, FMConfig(), random.Random(0)).refine(part)
+        assert result.total_moves == 0
+
+
+class TestEngineKnobs:
+    def test_min_pass_improvement_stops_early(self):
+        hg = generate_circuit(150, seed=4)
+        rng = random.Random(0)
+        a = [rng.randint(0, 1) for _ in range(150)]
+        strict = FMConfig(min_pass_improvement=1e9)
+        part = Partition2(hg, list(a))
+        balance = BalanceConstraint(hg.total_vertex_weight, 0.2)
+        result = FMEngine(balance, strict, random.Random(0)).refine(part)
+        assert result.passes == 1  # first pass never clears the bar
+
+    def test_zero_max_passes(self):
+        hg = generate_circuit(50, seed=5)
+        part = Partition2(hg, [v % 2 for v in range(50)])
+        balance = BalanceConstraint(hg.total_vertex_weight, 0.2)
+        cfg = FMConfig(max_passes=0)
+        result = FMEngine(balance, cfg, random.Random(0)).refine(part)
+        assert result.passes == 0
+        assert result.final_cut == result.initial_cut
+
+
+class TestCoarseningEdges:
+    def test_coarsen_to_single_vertex(self):
+        hg = generate_circuit(40, seed=6)
+        level = coarsen(hg, [0] * 40)
+        assert level.coarse.num_vertices == 1
+        assert level.coarse.num_nets == 0
+        # Projection of the trivial assignment works.
+        assert level.project_assignment([0]) == [0] * 40
+
+    def test_identity_clustering(self):
+        hg = generate_circuit(40, seed=6)
+        level = coarsen(hg, list(range(40)))
+        assert level.coarse.num_vertices == 40
+        a = [v % 2 for v in range(40)]
+        assert level.coarse.cut_size(a) == hg.cut_size(
+            level.project_assignment(a)
+        )
+
+
+class TestPlacementEdges:
+    def test_tiny_netlist_places(self):
+        hg = Hypergraph([[0, 1], [1, 2]], num_vertices=3)
+        placement = TopDownPlacer(min_region_cells=2, seed=0).place(hg)
+        assert len(placement.positions) == 3
+
+    def test_single_cell(self):
+        hg = Hypergraph([], num_vertices=1)
+        placement = TopDownPlacer(seed=0).place(hg)
+        assert len(placement.positions) == 1
+        assert placement.hpwl() == 0.0
+
+
+class TestFailureInjection:
+    def test_run_trials_propagates_heuristic_failure(self):
+        """A crashing heuristic must fail loudly, not silently produce
+        an empty record set (silent failure is how weak testbenches lie)."""
+
+        class Broken:
+            name = "broken"
+
+            def partition(self, hypergraph, seed=0, **kwargs):
+                raise RuntimeError("injected failure")
+
+        from repro.evaluation import run_trials
+
+        hg = generate_circuit(30, seed=7)
+        with pytest.raises(RuntimeError, match="injected"):
+            run_trials([Broken()], {"x": hg}, 1)
+
+    def test_partition_rejects_result_tampering(self):
+        """check_consistency catches corrupted incremental state."""
+        hg = generate_circuit(30, seed=8)
+        part = Partition2(hg, [v % 2 for v in range(30)])
+        part.cut += 1  # simulate a bookkeeping bug
+        with pytest.raises(AssertionError, match="cut drift"):
+            part.check_consistency()
+
+    def test_pin_count_tampering_detected(self):
+        hg = generate_circuit(30, seed=8)
+        part = Partition2(hg, [v % 2 for v in range(30)])
+        part.pins_in_part[0][0] += 1
+        with pytest.raises(AssertionError):
+            part.check_consistency()

@@ -1,0 +1,168 @@
+"""Tests for the FM gain-bucket container."""
+
+import random
+
+import pytest
+
+from repro.core import GainBuckets, IllegalHeadPolicy, InsertionOrder
+
+
+def make(n=10, maxg=5, order=InsertionOrder.LIFO, seed=0):
+    return GainBuckets(n, maxg, order, random.Random(seed))
+
+
+class TestBasics:
+    def test_insert_and_contains(self):
+        b = make()
+        b.insert(3, 2)
+        assert 3 in b
+        assert len(b) == 1
+        assert b.key_of(3) == 2
+
+    def test_duplicate_insert_rejected(self):
+        b = make()
+        b.insert(3, 2)
+        with pytest.raises(ValueError):
+            b.insert(3, 1)
+
+    def test_remove(self):
+        b = make()
+        b.insert(3, 2)
+        b.remove(3)
+        assert 3 not in b
+        assert len(b) == 0
+        with pytest.raises(ValueError):
+            b.remove(3)
+
+    def test_key_out_of_range_rejected(self):
+        b = make(maxg=2)
+        with pytest.raises(ValueError):
+            b.insert(0, 3)
+        with pytest.raises(ValueError):
+            b.insert(0, -3)
+
+    def test_max_key_and_head(self):
+        b = make()
+        assert b.max_key() is None
+        assert b.head() is None
+        b.insert(1, -2)
+        b.insert(2, 4)
+        b.insert(3, 0)
+        assert b.max_key() == 4
+        assert b.head() == 2
+        b.remove(2)
+        assert b.max_key() == 0
+
+    def test_update_moves_between_buckets(self):
+        b = make()
+        b.insert(1, 0)
+        b.update(1, 3)
+        assert b.key_of(1) == 3
+        assert b.max_key() == 3
+
+    def test_negative_max_abs_gain_rejected(self):
+        with pytest.raises(ValueError):
+            GainBuckets(5, -1)
+
+    def test_random_order_requires_rng(self):
+        with pytest.raises(ValueError):
+            GainBuckets(5, 3, InsertionOrder.RANDOM, rng=None)
+
+
+class TestInsertionOrder:
+    def test_lifo_head_is_most_recent(self):
+        b = make(order=InsertionOrder.LIFO)
+        for v in [0, 1, 2]:
+            b.insert(v, 1)
+        assert list(b.iter_bucket(1)) == [2, 1, 0]
+
+    def test_fifo_head_is_oldest(self):
+        b = make(order=InsertionOrder.FIFO)
+        for v in [0, 1, 2]:
+            b.insert(v, 1)
+        assert list(b.iter_bucket(1)) == [0, 1, 2]
+
+    def test_random_order_mixes(self):
+        b = make(n=50, order=InsertionOrder.RANDOM, seed=3)
+        for v in range(50):
+            b.insert(v, 0)
+        seq = list(b.iter_bucket(0))
+        assert sorted(seq) == list(range(50))
+        assert seq != list(range(50)) and seq != list(range(49, -1, -1))
+
+    def test_insert_at_head_overrides_fifo(self):
+        b = make(order=InsertionOrder.FIFO)
+        b.insert(0, 1)
+        b.insert_at_head(1, 1)
+        assert list(b.iter_bucket(1)) == [1, 0]
+
+    def test_update_reinserts_per_order(self):
+        b = make(order=InsertionOrder.LIFO)
+        for v in [0, 1, 2]:
+            b.insert(v, 1)
+        # Zero-delta reinsert of the tail moves it to the head (the
+        # "All delta-gain" position-shuffling effect).
+        b.update(0, 1)
+        assert list(b.iter_bucket(1)) == [0, 2, 1]
+
+
+class TestIteration:
+    def test_iter_descending(self):
+        b = make()
+        b.insert(0, -1)
+        b.insert(1, 2)
+        b.insert(2, 2)
+        b.insert(3, 0)
+        seq = list(b.iter_descending())
+        keys = [b.key_of(v) for v in seq]
+        assert keys == sorted(keys, reverse=True)
+        assert set(seq) == {0, 1, 2, 3}
+
+
+class TestSelect:
+    def test_select_head_when_legal(self):
+        b = make()
+        b.insert(0, 1)
+        b.insert(1, 3)
+        v = b.select(lambda v: True, IllegalHeadPolicy.SKIP_BUCKET)
+        assert v == 1
+
+    def test_skip_bucket_descends(self):
+        b = make()
+        b.insert(0, 1)
+        b.insert(1, 3)
+        v = b.select(lambda v: v != 1, IllegalHeadPolicy.SKIP_BUCKET)
+        assert v == 0
+
+    def test_skip_partition_gives_up(self):
+        b = make()
+        b.insert(0, 1)
+        b.insert(1, 3)
+        v = b.select(lambda v: v != 1, IllegalHeadPolicy.SKIP_PARTITION)
+        assert v is None
+
+    def test_skip_bucket_only_looks_at_heads(self):
+        b = make(order=InsertionOrder.LIFO)
+        b.insert(0, 2)  # tail of bucket 2
+        b.insert(1, 2)  # head of bucket 2
+        b.insert(2, 1)
+        # Head (1) illegal, tail (0) legal but never examined.
+        v = b.select(lambda v: v != 1, IllegalHeadPolicy.SKIP_BUCKET)
+        assert v == 2
+
+    def test_scan_bucket_finds_tail(self):
+        b = make(order=InsertionOrder.LIFO)
+        b.insert(0, 2)
+        b.insert(1, 2)
+        b.insert(2, 1)
+        v = b.select(lambda v: v != 1, IllegalHeadPolicy.SCAN_BUCKET)
+        assert v == 0
+
+    def test_select_empty(self):
+        b = make()
+        assert b.select(lambda v: True, IllegalHeadPolicy.SKIP_BUCKET) is None
+
+    def test_select_all_illegal(self):
+        b = make()
+        b.insert(0, 0)
+        assert b.select(lambda v: False, IllegalHeadPolicy.SCAN_BUCKET) is None

@@ -1,0 +1,147 @@
+"""Tests for the synthetic instance generators and the suite registry."""
+
+import pytest
+
+from repro.core import BalanceConstraint, Partition2
+from repro.hypergraph import hypergraph_stats, validate_hypergraph
+from repro.instances import (
+    DEFAULT_SCALE,
+    SUITE,
+    corking_initial,
+    corking_instance,
+    generate_circuit,
+    random_hypergraph,
+    suite_instance,
+    suite_names,
+)
+
+
+class TestGenerateCircuit:
+    def test_deterministic(self):
+        a = generate_circuit(100, seed=1)
+        b = generate_circuit(100, seed=1)
+        assert a.num_nets == b.num_nets
+        for e in a.nets():
+            assert a.pins_of(e) == b.pins_of(e)
+        assert a.vertex_weights == b.vertex_weights
+
+    def test_seeds_differ(self):
+        a = generate_circuit(100, seed=1)
+        b = generate_circuit(100, seed=2)
+        pins_a = [tuple(a.pins_of(e)) for e in a.nets()]
+        pins_b = [tuple(b.pins_of(e)) for e in b.nets()]
+        assert pins_a != pins_b
+
+    def test_no_isolated_vertices(self):
+        hg = generate_circuit(300, seed=5)
+        assert all(hg.degree(v) > 0 for v in hg.vertices())
+
+    def test_valid(self):
+        assert validate_hypergraph(generate_circuit(150, seed=8)) == []
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_circuit(1)
+
+    def test_has_cluster_structure(self):
+        """A good bisection must be far below the random-cut level,
+        otherwise the generator failed to produce locality."""
+        hg = generate_circuit(400, seed=6)
+        import random
+
+        from repro.core import FMPartitioner
+
+        rng = random.Random(0)
+        random_cut = hg.cut_size([rng.randint(0, 1) for _ in range(400)])
+        fm_cut = FMPartitioner(tolerance=0.1).partition(hg, seed=0).cut
+        assert fm_cut < random_cut / 3
+
+    def test_global_nets_present(self):
+        hg = generate_circuit(500, seed=6, num_global_nets=3)
+        sizes = sorted(hg.net_size(e) for e in hg.nets())
+        assert sizes[-3] >= 0.04 * 500  # three clock/reset-like nets
+
+
+class TestRandomHypergraph:
+    def test_shape(self):
+        hg = random_hypergraph(30, 50, seed=1)
+        assert hg.num_vertices == 30
+        assert hg.num_nets == 50
+
+    def test_areas_optional(self):
+        hg = random_hypergraph(30, 50, seed=1, unit_areas=False, max_area=9)
+        assert any(hg.vertex_weight(v) > 1 for v in hg.vertices())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            random_hypergraph(1, 5)
+
+
+class TestCorking:
+    def test_macros_are_last_and_wide(self):
+        hg = corking_instance(num_cells=200, num_macros=3)
+        total = hg.total_vertex_weight
+        for m in range(200, 203):  # macros occupy the last ids
+            assert hg.vertex_weight(m) > 0.05 * total
+
+    def test_macro_degree(self):
+        hg = corking_instance(num_cells=200, num_macros=2, macro_degree=40)
+        assert hg.degree(200) >= 40
+        assert hg.degree(201) >= 40
+
+    def test_corking_initial_gains(self):
+        """Macros must have the highest initial gains on their sides —
+        the precondition for CLIP corking."""
+        hg = corking_instance(num_cells=300, num_macros=4, macro_degree=60)
+        init = corking_initial(hg, num_macros=4)
+        part = Partition2(hg, init)
+        macro_ids = list(range(300, 304))
+        for side in (0, 1):
+            side_macros = [m for m in macro_ids if init[m] == side]
+            if not side_macros:
+                continue
+            best_macro_gain = max(part.gain(m) for m in side_macros)
+            best_cell_gain = max(
+                part.gain(v) for v in range(300) if init[v] == side
+            )
+            assert best_macro_gain > best_cell_gain
+
+    def test_macro_area_exceeds_2pct_slack(self):
+        hg = corking_instance(num_cells=300, num_macros=2)
+        balance = BalanceConstraint(hg.total_vertex_weight, 0.02)
+        assert hg.vertex_weight(300) > balance.slack
+
+
+class TestSuite:
+    def test_names(self):
+        names = suite_names()
+        assert len(names) == 18
+        assert names[0] == "ibm01s"
+        assert names[-1] == "ibm18s"
+
+    def test_sizes_follow_published_counts(self):
+        for name in ("ibm01s", "ibm05s"):
+            hg = suite_instance(name)
+            spec = SUITE[name]
+            expected = max(64, spec.paper_cells // DEFAULT_SCALE)
+            assert hg.num_vertices == expected
+
+    def test_cached(self):
+        assert suite_instance("ibm01s") is suite_instance("ibm01s")
+
+    def test_scale_parameter(self):
+        small = suite_instance("ibm01s", scale=64)
+        assert small.num_vertices < suite_instance("ibm01s").num_vertices
+
+    def test_unit_area_variant(self):
+        hg = suite_instance("ibm02s", scale=64, unit_areas=True)
+        st = hypergraph_stats(hg)
+        assert st.area_spread == pytest.approx(1.0)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            suite_instance("ibm99s")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            suite_instance("ibm01s", scale=0)

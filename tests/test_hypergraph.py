@@ -1,0 +1,154 @@
+"""Unit tests for the core hypergraph data structure."""
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+
+
+class TestConstruction:
+    def test_sizes(self, tiny):
+        assert tiny.num_vertices == 6
+        assert tiny.num_nets == 7
+        assert tiny.num_pins == 15
+
+    def test_default_weights_are_unit(self, tiny):
+        assert all(tiny.vertex_weight(v) == 1.0 for v in tiny.vertices())
+        assert all(tiny.net_weight(e) == 1.0 for e in tiny.nets())
+        assert tiny.total_vertex_weight == 6.0
+
+    def test_explicit_weights(self, weighted_tiny):
+        assert weighted_tiny.vertex_weight(2) == 3.0
+        assert weighted_tiny.net_weight(6) == 3.0
+        assert weighted_tiny.total_vertex_weight == 12.0
+
+    def test_empty_hypergraph(self):
+        hg = Hypergraph([], num_vertices=0)
+        assert hg.num_vertices == 0
+        assert hg.num_nets == 0
+        assert hg.cut_size([]) == 0.0
+
+    def test_isolated_vertices_allowed(self):
+        hg = Hypergraph([[0, 1]], num_vertices=4)
+        assert hg.degree(2) == 0
+        assert hg.degree(3) == 0
+
+    def test_pin_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            Hypergraph([[0, 7]], num_vertices=3)
+
+    def test_duplicate_pin_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Hypergraph([[0, 1, 0]], num_vertices=3)
+
+    def test_negative_vertex_weight_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Hypergraph([[0, 1]], num_vertices=2, vertex_weights=[1, -1])
+
+    def test_negative_net_weight_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Hypergraph([[0, 1]], num_vertices=2, net_weights=[-2])
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Hypergraph([[0, 1]], num_vertices=2, vertex_weights=[1])
+        with pytest.raises(ValueError, match="mismatch"):
+            Hypergraph([[0, 1]], num_vertices=2, net_weights=[1, 2])
+
+    def test_negative_num_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph([], num_vertices=-1)
+
+
+class TestIncidence:
+    def test_pins_of(self, tiny):
+        assert tiny.pins_of(0) == [0, 1]
+        assert tiny.pins_of(6) == [2, 3, 4]
+
+    def test_nets_of(self, tiny):
+        assert sorted(tiny.nets_of(2)) == [1, 2, 6]
+
+    def test_degree_and_net_size(self, tiny):
+        assert tiny.degree(4) == 3  # nets 3, 4, 6
+        assert tiny.net_size(6) == 3
+
+    def test_incidence_directions_agree(self, circuit300):
+        for v in circuit300.vertices():
+            for e in circuit300.nets_of(v):
+                assert v in circuit300.pins_of(e)
+        for e in circuit300.nets():
+            for v in circuit300.pins_of(e):
+                assert e in circuit300.nets_of(v)
+
+    def test_names_default(self, tiny):
+        assert tiny.vertex_name(0) == "v0"
+        assert tiny.net_name(3) == "n3"
+
+    def test_names_explicit(self):
+        hg = Hypergraph(
+            [[0, 1]],
+            num_vertices=2,
+            vertex_names=["a", "b"],
+            net_names=["clk"],
+        )
+        assert hg.vertex_name(1) == "b"
+        assert hg.net_name(0) == "clk"
+
+
+class TestCut:
+    def test_all_one_side_uncut(self, tiny):
+        assert tiny.cut_size([0] * 6) == 0.0
+
+    def test_known_bisection(self, tiny):
+        # {0,1,2} vs {3,4,5}: only the bridging 3-pin net is cut.
+        assert tiny.cut_size([0, 0, 0, 1, 1, 1]) == 1.0
+
+    def test_bad_bisection(self, tiny):
+        # Alternating sides cuts 5 of the 7 nets ({0,2} and {3,5} stay
+        # uncut because those endpoints land on the same side).
+        assert tiny.cut_size([0, 1, 0, 1, 0, 1]) == 5.0
+
+    def test_weighted_cut(self, weighted_tiny):
+        assert weighted_tiny.cut_size([0, 0, 0, 1, 1, 1]) == 3.0
+
+    def test_connectivity_equals_cut_for_2way(self, circuit300):
+        assignment = [v % 2 for v in circuit300.vertices()]
+        assert circuit300.connectivity_cut(assignment) == circuit300.cut_size(
+            assignment
+        )
+
+    def test_connectivity_kway(self, tiny):
+        # Net 6 = {2,3,4} spans 3 parts -> contributes 2.
+        assignment = [0, 0, 0, 1, 2, 2]
+        assert tiny.connectivity_cut(assignment) >= tiny.cut_size(assignment)
+
+    def test_assignment_length_checked(self, tiny):
+        with pytest.raises(ValueError):
+            tiny.cut_size([0, 1])
+        with pytest.raises(ValueError):
+            tiny.connectivity_cut([0, 1])
+
+    def test_part_weights(self, weighted_tiny):
+        w = weighted_tiny.part_weights([0, 0, 0, 1, 1, 1])
+        assert w == [6.0, 6.0]
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_nets(self, tiny):
+        sub, mapping = tiny.induced_subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_nets == 3  # the triangle survives
+        assert mapping == [0, 1, 2]
+
+    def test_drops_dangling_nets(self, tiny):
+        sub, _ = tiny.induced_subgraph([2, 3])
+        # Only net {2,3,4} keeps >= 2 pins after restriction to {2,3}.
+        assert sub.num_nets == 1
+
+    def test_preserves_weights(self, weighted_tiny):
+        sub, mapping = weighted_tiny.induced_subgraph([2, 3, 4])
+        for new, old in enumerate(mapping):
+            assert sub.vertex_weight(new) == weighted_tiny.vertex_weight(old)
+
+    def test_repr(self, tiny):
+        text = repr(tiny)
+        assert "|V|=6" in text and "|E|=7" in text

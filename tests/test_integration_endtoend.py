@@ -1,0 +1,142 @@
+"""End-to-end integration tests: miniature versions of the paper's
+experiments, fast enough for the plain test suite.
+
+The benchmark harness regenerates the full tables; these tests pin the
+same qualitative shapes at toy scale so a plain ``pytest tests/`` run
+already validates the reproduction logic, not just the components.
+"""
+
+import pytest
+
+from repro.baselines import WeakFM
+from repro.core import (
+    FMConfig,
+    FMPartitioner,
+    Partition2,
+    TieBias,
+    UpdatePolicy,
+    run_multistart,
+)
+from repro.evaluation import (
+    avg_cut,
+    frontier_from_records,
+    group_by,
+    run_configuration_evaluation,
+    run_trials,
+)
+from repro.instances import (
+    corking_initial,
+    corking_instance,
+    generate_circuit,
+)
+from repro.multilevel import MLPartitioner, shmetis
+
+
+@pytest.fixture(scope="module")
+def hg():
+    return generate_circuit(400, seed=200)
+
+
+class TestTable1Shape:
+    def test_implicit_decisions_matter_and_ml_compresses(self, hg):
+        flat_avgs = []
+        ml_avgs = []
+        for updates in UpdatePolicy:
+            for bias in TieBias:
+                cfg = FMConfig(update_policy=updates, tie_bias=bias)
+                flat = run_multistart(
+                    FMPartitioner(cfg, tolerance=0.02), hg, 4
+                )
+                flat_avgs.append(flat.avg_cut)
+        for bias in TieBias:
+            from repro.multilevel import MLConfig
+
+            cfg = MLConfig(fm_config=FMConfig(tie_bias=bias))
+            ml = run_multistart(MLPartitioner(cfg, tolerance=0.02), hg, 4)
+            ml_avgs.append(ml.avg_cut)
+        assert max(flat_avgs) > min(flat_avgs)  # decisions matter
+        # ML engine beats the flat engine's mean across variants.
+        assert sum(ml_avgs) / len(ml_avgs) < sum(flat_avgs) / len(flat_avgs)
+
+
+class TestTables23Shape:
+    def test_strong_dominates_weak_at_both_tolerances(self, hg):
+        for tol in (0.02, 0.10):
+            weak = run_multistart(WeakFM(tolerance=tol), hg, 5)
+            strong = run_multistart(FMPartitioner(tolerance=tol), hg, 5)
+            assert strong.avg_cut < weak.avg_cut
+            assert strong.min_cut <= weak.min_cut
+            weak_clip = run_multistart(WeakFM(clip=True, tolerance=tol), hg, 5)
+            strong_clip = run_multistart(
+                FMPartitioner(FMConfig(clip=True), tolerance=tol), hg, 5
+            )
+            assert strong_clip.avg_cut < weak_clip.avg_cut
+
+
+class TestTables45Shape:
+    def test_multistart_tradeoff(self, hg):
+        ml = MLPartitioner(tolerance=0.10)
+        out = run_configuration_evaluation(
+            lambda: ml,
+            hg,
+            "x",
+            start_counts=[1, 4],
+            repetitions=2,
+            vcycle=lambda h, a, s: ml.vcycle(h, a, seed=s),
+        )
+        assert out[4]["avg_cpu_seconds"] > out[1]["avg_cpu_seconds"]
+        assert out[4]["avg_best_cut"] <= out[1]["avg_best_cut"] * 1.05
+
+    def test_loose_tolerance_not_worse(self, hg):
+        tight = shmetis(hg, ubfactor=1, nruns=2, seed=0).cut
+        loose = shmetis(hg, ubfactor=5, nruns=2, seed=0).cut
+        assert loose <= tight * 1.1
+
+
+class TestCorkingShape:
+    def test_guard_rescues_clip(self):
+        ck = corking_instance(num_cells=200, num_macros=4, macro_degree=50)
+        init = Partition2(ck, corking_initial(ck, num_macros=4))
+        unguarded = FMPartitioner(
+            FMConfig(clip=True, guard_oversized=False), tolerance=0.02
+        ).partition(ck, seed=0, initial=init)
+        guarded = FMPartitioner(
+            FMConfig(clip=True, guard_oversized=True), tolerance=0.02
+        ).partition(ck, seed=0, initial=init)
+        assert unguarded.engine_result.stuck_passes >= 1
+        assert guarded.cut < unguarded.cut
+
+
+class TestMethodologyShape:
+    def test_frontier_and_ladder(self, hg):
+        from repro.baselines import RandomPartitioner
+
+        heuristics = [
+            RandomPartitioner(tolerance=0.02),
+            FMPartitioner(tolerance=0.02, name="Flat FM"),
+            MLPartitioner(tolerance=0.02, name="ML FM"),
+        ]
+        records = run_trials(heuristics, {"x": hg}, 4)
+        means = {
+            name: avg_cut(rs)
+            for (name,), rs in group_by(records, "heuristic").items()
+        }
+        assert means["ML FM"] < means["Flat FM"] < means["Random (legal)"]
+        frontier = frontier_from_records(records)
+        assert min(frontier, key=lambda p: p.cost).label == "ML FM"
+
+
+class TestPlacementFlowShape:
+    def test_full_flow(self):
+        from repro.placement import (
+            DetailedPlacer,
+            TopDownPlacer,
+            estimate_congestion,
+        )
+
+        hg = generate_circuit(150, seed=201)
+        coarse = TopDownPlacer(seed=1).place(hg)
+        refined = DetailedPlacer(seed=2).refine(coarse)
+        assert refined.final_hpwl < coarse.hpwl()
+        cmap = estimate_congestion(coarse)
+        assert cmap.peak > 0

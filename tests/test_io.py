@@ -1,0 +1,134 @@
+"""Round-trip and error tests for the .hgr and .netD/.are formats."""
+
+import io
+
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    read_hgr,
+    read_netd,
+    write_hgr,
+    write_netd,
+)
+from repro.instances import generate_circuit
+
+
+class TestHgr:
+    def test_round_trip_with_weights(self, tmp_path, weighted_tiny):
+        path = tmp_path / "t.hgr"
+        write_hgr(weighted_tiny, path, write_net_weights=True)
+        back = read_hgr(path)
+        assert back.num_vertices == weighted_tiny.num_vertices
+        assert back.num_nets == weighted_tiny.num_nets
+        for e in back.nets():
+            assert back.pins_of(e) == weighted_tiny.pins_of(e)
+            assert back.net_weight(e) == weighted_tiny.net_weight(e)
+        for v in back.vertices():
+            assert back.vertex_weight(v) == weighted_tiny.vertex_weight(v)
+
+    def test_round_trip_unweighted(self, tmp_path, tiny):
+        path = tmp_path / "t.hgr"
+        write_hgr(tiny, path, write_vertex_weights=False)
+        back = read_hgr(path)
+        assert back.num_nets == tiny.num_nets
+        assert all(back.vertex_weight(v) == 1.0 for v in back.vertices())
+
+    def test_round_trip_generated(self, tmp_path):
+        hg = generate_circuit(120, seed=5)
+        path = tmp_path / "g.hgr"
+        write_hgr(hg, path)
+        back = read_hgr(path)
+        assignment = [v % 2 for v in range(hg.num_vertices)]
+        assert back.cut_size(assignment) == hg.cut_size(assignment)
+
+    def test_stream_io(self, tiny):
+        buf = io.StringIO()
+        write_hgr(tiny, buf, write_vertex_weights=False)
+        back = read_hgr(io.StringIO(buf.getvalue()))
+        assert back.num_nets == tiny.num_nets
+
+    def test_comments_ignored(self):
+        text = "% comment\n1 2\n% another\n1 2\n"
+        back = read_hgr(io.StringIO(text))
+        assert back.num_nets == 1
+        assert back.pins_of(0) == [0, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_hgr(io.StringIO(""))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            read_hgr(io.StringIO("3 4\n1 2\n"))
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            read_hgr(io.StringIO("1\n1 2\n"))
+
+    def test_pin_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            read_hgr(io.StringIO("1 2\n1 5\n"))
+
+
+class TestNetD:
+    def test_round_trip(self, tmp_path):
+        hg = Hypergraph(
+            [[0, 1, 2], [1, 3], [0, 3]],
+            num_vertices=4,
+            vertex_weights=[2, 3, 1, 5],
+            vertex_names=["a0", "a1", "a2", "p1"],
+        )
+        netd = tmp_path / "x.netD"
+        are = tmp_path / "x.are"
+        write_netd(hg, netd, are)
+        back = read_netd(netd, are)
+        assert back.num_vertices == 4
+        assert back.num_nets == 3
+        # Names map positions; areas must follow names.
+        for v in range(4):
+            name = hg.vertex_name(v)
+            idx = next(
+                u for u in range(4) if back.vertex_name(u) == name
+            )
+            assert back.vertex_weight(idx) == hg.vertex_weight(v)
+
+    def test_read_without_are_gives_unit_areas(self, tmp_path):
+        hg = Hypergraph([[0, 1]], num_vertices=2, vertex_names=["a0", "a1"])
+        netd = tmp_path / "y.netD"
+        write_netd(hg, netd)
+        back = read_netd(netd)
+        assert all(back.vertex_weight(v) == 1.0 for v in back.vertices())
+
+    def test_header_validation(self, tmp_path):
+        bad = tmp_path / "bad.netD"
+        bad.write_text("1\n2\n3\n4\n5\n")
+        with pytest.raises(ValueError, match="'0'"):
+            read_netd(bad)
+
+    def test_pin_count_validation(self, tmp_path):
+        bad = tmp_path / "bad.netD"
+        bad.write_text("0\n3\n1\n2\n0\na0 s I\na1 l I\n")
+        with pytest.raises(ValueError, match="pins"):
+            read_netd(bad)
+
+    def test_continuation_before_start_rejected(self, tmp_path):
+        bad = tmp_path / "bad.netD"
+        bad.write_text("0\n2\n1\n2\n0\na0 l I\na1 l I\n")
+        with pytest.raises(ValueError, match="continuation"):
+            read_netd(bad)
+
+    def test_net_count_validation(self, tmp_path):
+        bad = tmp_path / "bad.netD"
+        bad.write_text("0\n2\n5\n2\n0\na0 s I\na1 l I\n")
+        with pytest.raises(ValueError, match="nets"):
+            read_netd(bad)
+
+    def test_generated_round_trip_cut_preserved(self, tmp_path):
+        hg = generate_circuit(80, seed=9)
+        netd = tmp_path / "g.netD"
+        are = tmp_path / "g.are"
+        write_netd(hg, netd, are)
+        back = read_netd(netd, are)
+        assert back.num_nets == hg.num_nets
+        assert back.total_vertex_weight == hg.total_vertex_weight

@@ -1,0 +1,149 @@
+"""Tests for the direct k-way FM engine and k-way balance."""
+
+import random
+
+import pytest
+
+from repro.core import KWayBalance, KWayFM, PartitionK, RecursiveBisection
+from repro.instances import generate_circuit, random_hypergraph
+
+
+@pytest.fixture(scope="module")
+def hg():
+    return generate_circuit(200, seed=110)
+
+
+class TestKWayBalance:
+    def test_reduces_to_2way_convention(self):
+        b = KWayBalance(100.0, 2, 0.02)
+        assert b.lower_bound == pytest.approx(49.0)
+        assert b.upper_bound == pytest.approx(51.0)
+
+    def test_kway_window(self):
+        b = KWayBalance(120.0, 4, 0.10)
+        ideal = 30.0
+        assert b.lower_bound < ideal < b.upper_bound
+        assert b.is_legal([30, 30, 30, 30])
+        assert not b.is_legal([0, 40, 40, 40])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KWayBalance(100.0, 1, 0.1)
+        with pytest.raises(ValueError):
+            KWayBalance(100.0, 3, 1.0)
+
+    def test_distance(self):
+        b = KWayBalance(120.0, 4, 0.10)
+        assert b.distance_from_bounds([30, 30, 30, 30]) > 0
+        assert b.distance_from_bounds([10, 40, 40, 30]) < 0
+
+
+class TestPartitionK:
+    def test_initial_objectives(self, hg):
+        rng = random.Random(0)
+        a = [rng.randrange(3) for _ in range(hg.num_vertices)]
+        part = PartitionK(hg, a, k=3)
+        assert part.cut == hg.cut_size(a)
+        assert part.connectivity == hg.connectivity_cut(a)
+
+    def test_incremental_moves_consistent(self, hg):
+        rng = random.Random(1)
+        a = [rng.randrange(4) for _ in range(hg.num_vertices)]
+        part = PartitionK(hg, a, k=4)
+        for _ in range(200):
+            part.move(rng.randrange(hg.num_vertices), rng.randrange(4))
+        part.check_consistency()
+
+    def test_move_to_same_part_noop(self, hg):
+        part = PartitionK(hg, [0] * hg.num_vertices, k=3)
+        before = part.cut
+        part.move(5, 0)
+        assert part.cut == before
+
+    def test_fixed_vertex_rejected(self, hg):
+        fixed = [False] * hg.num_vertices
+        fixed[3] = True
+        part = PartitionK(hg, [0] * hg.num_vertices, k=2, fixed=fixed)
+        with pytest.raises(ValueError):
+            part.move(3, 1)
+
+    def test_gain_matches_brute_force(self):
+        hg = random_hypergraph(30, 50, seed=7)
+        rng = random.Random(2)
+        a = [rng.randrange(3) for _ in range(30)]
+        part = PartitionK(hg, a, k=3)
+        for v in range(30):
+            for dest in range(3):
+                for objective in ("cut", "connectivity"):
+                    g = part.gain(v, dest, objective)
+                    clone = PartitionK(hg, part.assignment, 3)
+                    before = (
+                        clone.cut if objective == "cut" else clone.connectivity
+                    )
+                    clone.move(v, dest)
+                    after = (
+                        clone.cut if objective == "cut" else clone.connectivity
+                    )
+                    assert g == pytest.approx(before - after)
+
+    def test_validation(self, hg):
+        with pytest.raises(ValueError):
+            PartitionK(hg, [0, 1], k=2)
+        with pytest.raises(ValueError):
+            PartitionK(hg, [5] * hg.num_vertices, k=2)
+        with pytest.raises(ValueError):
+            PartitionK(hg, [0] * hg.num_vertices, k=1)
+
+
+class TestKWayFM:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_produces_legal_solutions(self, hg, k):
+        result = KWayFM(k, tolerance=0.2).partition(hg, seed=0)
+        balance = KWayBalance(hg.total_vertex_weight, k, 0.2)
+        assert balance.is_legal(result.part_weights)
+        assert set(result.assignment) == set(range(k))
+        assert result.cut == hg.cut_size(result.assignment)
+
+    def test_improves_over_initial(self, hg):
+        """Refinement must clearly beat a random k-way assignment."""
+        rng = random.Random(3)
+        a = [rng.randrange(4) for _ in range(hg.num_vertices)]
+        random_cut = hg.cut_size(a)
+        result = KWayFM(4, tolerance=0.2).partition(hg, seed=0)
+        assert result.cut < random_cut * 0.8
+
+    def test_connectivity_objective(self, hg):
+        cut_engine = KWayFM(3, tolerance=0.2, objective="cut")
+        conn_engine = KWayFM(3, tolerance=0.2, objective="connectivity")
+        r_cut = cut_engine.partition(hg, seed=1)
+        r_conn = conn_engine.partition(hg, seed=1)
+        # Each engine should be at least competitive on its own metric.
+        assert r_conn.connectivity <= r_cut.connectivity * 1.2
+        assert r_cut.cut <= r_conn.cut * 1.2
+
+    def test_refine_in_place(self, hg):
+        rng = random.Random(4)
+        a = [rng.randrange(3) for _ in range(hg.num_vertices)]
+        part = PartitionK(hg, a, k=3)
+        before = part.cut
+        improvement = KWayFM(3, tolerance=0.3).refine(part)
+        assert improvement >= 0
+        assert part.cut <= before
+        part.check_consistency()
+
+    def test_deterministic(self, hg):
+        a = KWayFM(3, tolerance=0.2).partition(hg, seed=5)
+        b = KWayFM(3, tolerance=0.2).partition(hg, seed=5)
+        assert a.assignment == b.assignment
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            KWayFM(3, objective="magic")
+
+    def test_competitive_with_recursive_bisection(self, hg):
+        """Neither approach should dominate wildly — the open research
+        question the paper names; both must land in the same range."""
+        direct = KWayFM(4, tolerance=0.2).partition(hg, seed=0)
+        recursive = RecursiveBisection(4, tolerance=0.2).partition(hg, seed=0)
+        assert direct.cut <= recursive.cut * 2.5
+        assert recursive.cut <= direct.cut * 2.5

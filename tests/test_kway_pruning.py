@@ -1,0 +1,134 @@
+"""Tests for recursive-bisection k-way partitioning and pruned multistart."""
+
+import pytest
+
+from repro.core import (
+    FMConfig,
+    FMPartitioner,
+    PrunedMultistart,
+    RecursiveBisection,
+)
+from repro.instances import generate_circuit
+
+
+@pytest.fixture(scope="module")
+def hg():
+    return generate_circuit(300, seed=100)
+
+
+class TestRecursiveBisection:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_power_of_two(self, hg, k):
+        result = RecursiveBisection(k, tolerance=0.2).partition(hg, seed=0)
+        assert result.k == k
+        assert set(result.assignment) == set(range(k))
+        assert result.cut == hg.cut_size(result.assignment)
+        assert result.connectivity >= result.cut
+        assert result.max_imbalance() < 0.5
+
+    @pytest.mark.parametrize("k", [3, 5, 6])
+    def test_non_power_of_two(self, hg, k):
+        result = RecursiveBisection(k, tolerance=0.2).partition(hg, seed=0)
+        assert set(result.assignment) == set(range(k))
+        # Every part gets a sensible share of the area.
+        total = hg.total_vertex_weight
+        for w in result.part_weights:
+            assert w > 0.3 * total / k
+
+    def test_k2_equals_plain_bisection_quality(self, hg):
+        rb = RecursiveBisection(2, tolerance=0.1).partition(hg, seed=0)
+        flat = FMPartitioner(tolerance=0.1).partition(hg, seed=0)
+        # Same engine family; the k=2 path should be in the same range.
+        assert rb.cut <= flat.cut * 2
+
+    def test_more_parts_cut_more(self, hg):
+        # Connectivity grows with k for heuristic solutions too, up to
+        # per-run noise: compare the extremes, not adjacent k values.
+        cuts = {}
+        for k in (2, 4, 8):
+            cuts[k] = RecursiveBisection(k, tolerance=0.2).partition(
+                hg, seed=0
+            ).connectivity
+        assert cuts[2] < cuts[8]
+        assert cuts[4] < cuts[8]
+
+    def test_bisection_count(self, hg):
+        result = RecursiveBisection(4, tolerance=0.2).partition(hg, seed=0)
+        assert result.num_bisections == 3  # 1 root + 2 children
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            RecursiveBisection(1)
+
+    def test_custom_factory(self, hg):
+        calls = []
+
+        def factory(tol):
+            calls.append(tol)
+            return FMPartitioner(FMConfig(clip=True), tolerance=tol)
+
+        RecursiveBisection(4, tolerance=0.2, partitioner_factory=factory).partition(
+            hg, seed=0
+        )
+        assert len(calls) == 3
+
+    def test_deterministic(self, hg):
+        a = RecursiveBisection(4, tolerance=0.2).partition(hg, seed=1)
+        b = RecursiveBisection(4, tolerance=0.2).partition(hg, seed=1)
+        assert a.assignment == b.assignment
+
+
+class TestPrunedMultistart:
+    def test_protocol(self, hg):
+        p = PrunedMultistart(num_starts=4, tolerance=0.1)
+        result = p.partition(hg, seed=0)
+        assert result.legal
+        assert result.cut == hg.cut_size(result.assignment)
+
+    def test_prunes_unpromising_starts(self, hg):
+        p = PrunedMultistart(num_starts=10, prune_factor=1.01, tolerance=0.1)
+        p.partition(hg, seed=0)
+        stats = p.last_stats
+        assert stats is not None
+        assert stats.starts_attempted == 10
+        assert stats.starts_pruned > 0
+        assert len(stats.probe_cuts) == 10
+
+    def test_large_factor_never_prunes(self, hg):
+        p = PrunedMultistart(num_starts=5, prune_factor=1e9, tolerance=0.1)
+        p.partition(hg, seed=0)
+        assert p.last_stats.starts_pruned == 0
+
+    def test_quality_not_much_worse_than_full_multistart(self, hg):
+        from repro.core import run_multistart
+
+        pruned = PrunedMultistart(
+            num_starts=8, prune_factor=1.2, tolerance=0.1
+        ).partition(hg, seed=0)
+        full = run_multistart(FMPartitioner(tolerance=0.1), hg, 8)
+        assert pruned.cut <= full.min_cut * 1.3
+
+    def test_pruning_saves_time(self, hg):
+        aggressive = PrunedMultistart(
+            num_starts=12, prune_factor=1.005, tolerance=0.1
+        )
+        lazy = PrunedMultistart(num_starts=12, prune_factor=1e9, tolerance=0.1)
+        t_aggr = aggressive.partition(hg, seed=0).runtime_seconds
+        t_lazy = lazy.partition(hg, seed=0).runtime_seconds
+        assert aggressive.last_stats.starts_pruned > 0
+        assert t_aggr < t_lazy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrunedMultistart(num_starts=0)
+        with pytest.raises(ValueError):
+            PrunedMultistart(prune_factor=0)
+
+    def test_fixed_parts(self, hg):
+        fixed = [None] * hg.num_vertices
+        fixed[1], fixed[2] = 0, 1
+        result = PrunedMultistart(num_starts=3, tolerance=0.1).partition(
+            hg, seed=0, fixed_parts=fixed
+        )
+        assert result.assignment[1] == 0
+        assert result.assignment[2] == 1

@@ -1,0 +1,170 @@
+"""Tests for Krishnamurthy lookahead FM and Brglez instance perturbation."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BalanceConstraint,
+    FMPartitioner,
+    LookaheadFM,
+    Partition2,
+    gain_vector,
+)
+from repro.hypergraph import Hypergraph
+from repro.instances import (
+    generate_circuit,
+    isomorphic_mutant,
+    mutant_family,
+    ordering_sensitivity,
+)
+
+
+@pytest.fixture(scope="module")
+def hg():
+    return generate_circuit(200, seed=150)
+
+
+class TestGainVector:
+    def _setup(self, hypergraph, assignment):
+        part = Partition2(hypergraph, assignment)
+        free = [list(part.pins_in_part[0]), list(part.pins_in_part[1])]
+        locked = [[0] * hypergraph.num_nets, [0] * hypergraph.num_nets]
+        return part, free, locked
+
+    def test_level1_equals_fm_gain(self, hg):
+        rng = random.Random(0)
+        assignment = [rng.randint(0, 1) for _ in range(hg.num_vertices)]
+        part, free, locked = self._setup(hg, assignment)
+        for v in range(0, hg.num_vertices, 7):
+            vec = gain_vector(part, free, locked, v, depth=3)
+            assert vec[0] == part.gain(v)
+
+    def test_locked_side_suppresses_contribution(self):
+        # Net {0,1} with 1 locked on side 1: moving 0 to side 1 cannot
+        # claim the "uncut" reward at any level if side 0 gains locked
+        # cells... construct directly:
+        hgs = Hypergraph([[0, 1], [0, 2]], num_vertices=3)
+        part = Partition2(hgs, [0, 1, 0])
+        free = [list(part.pins_in_part[0]), list(part.pins_in_part[1])]
+        locked = [[0] * 2, [0] * 2]
+        base = gain_vector(part, free, locked, 0, depth=2)
+        # Lock vertex 2 (side 0) on net 1: net 1's source binding number
+        # becomes infinite, removing its level-2 contribution.
+        free[0][1] -= 1
+        locked[0][1] += 1
+        after = gain_vector(part, free, locked, 0, depth=2)
+        assert after != base
+
+    def test_vector_length(self, hg):
+        part, free, locked = self._setup(hg, [0] * hg.num_vertices)
+        assert len(gain_vector(part, free, locked, 0, depth=4)) == 4
+
+
+class TestLookaheadFM:
+    def test_produces_legal_solutions(self, hg):
+        result = LookaheadFM(depth=2, tolerance=0.1).partition(hg, seed=0)
+        assert result.legal
+        assert result.cut == hg.cut_size(result.assignment)
+
+    def test_never_worsens_cut_from_legal(self, hg):
+        balance = BalanceConstraint(hg.total_vertex_weight, 0.1)
+        part = Partition2.random_balanced(hg, balance, random.Random(1))
+        before = part.cut
+        la = LookaheadFM(depth=3, tolerance=0.1)
+        result = la.refine(part, balance)
+        assert part.cut <= before
+        assert result.improvement == before - part.cut
+        part.check_consistency()
+        assert balance.is_legal(part.part_weights)
+
+    def test_depth1_is_plain_fm_priority(self, hg):
+        result = LookaheadFM(depth=1, tolerance=0.1).partition(hg, seed=0)
+        assert result.legal
+
+    def test_respects_fixed(self, hg):
+        fixed = [None] * hg.num_vertices
+        fixed[0], fixed[1] = 0, 1
+        result = LookaheadFM(depth=2, tolerance=0.1).partition(
+            hg, seed=0, fixed_parts=fixed
+        )
+        assert result.assignment[0] == 0
+        assert result.assignment[1] == 1
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            LookaheadFM(depth=0)
+
+    def test_competitive_with_plain_fm(self, hg):
+        """Hagen/Huang/Kahng's finding (the context of the paper's
+        footnote 3): well-implemented LIFO FM is competitive with
+        lookahead gains — neither side should dominate wildly."""
+        la_cuts = [
+            LookaheadFM(depth=3, tolerance=0.1).partition(hg, seed=s).cut
+            for s in range(4)
+        ]
+        fm_cuts = [
+            FMPartitioner(tolerance=0.1).partition(hg, seed=s).cut
+            for s in range(4)
+        ]
+        assert sum(la_cuts) <= sum(fm_cuts) * 2.0
+        assert sum(fm_cuts) <= sum(la_cuts) * 2.0
+
+
+class TestPerturbation:
+    def test_mutant_is_isomorphic(self, hg):
+        mutant = isomorphic_mutant(hg, seed=3)
+        assert mutant.hypergraph.num_vertices == hg.num_vertices
+        assert mutant.hypergraph.num_nets == hg.num_nets
+        assert mutant.hypergraph.num_pins == hg.num_pins
+        assert mutant.hypergraph.total_vertex_weight == pytest.approx(
+            hg.total_vertex_weight
+        )
+
+    def test_translated_assignment_preserves_cut(self, hg):
+        mutant = isomorphic_mutant(hg, seed=4)
+        rng = random.Random(0)
+        mutant_assignment = [
+            rng.randint(0, 1) for _ in range(hg.num_vertices)
+        ]
+        base_assignment = mutant.translate_assignment(mutant_assignment)
+        assert hg.cut_size(base_assignment) == mutant.hypergraph.cut_size(
+            mutant_assignment
+        )
+
+    def test_vertex_weights_follow_relabeling(self, hg):
+        mutant = isomorphic_mutant(hg, seed=5)
+        for old in range(hg.num_vertices):
+            new = mutant.vertex_map[old]
+            assert mutant.hypergraph.vertex_weight(new) == hg.vertex_weight(old)
+
+    def test_family_deterministic(self, hg):
+        fam1 = mutant_family(hg, 3, base_seed=7)
+        fam2 = mutant_family(hg, 3, base_seed=7)
+        for a, b in zip(fam1, fam2):
+            assert a.vertex_map == b.vertex_map
+
+    def test_family_count_validated(self, hg):
+        with pytest.raises(ValueError):
+            mutant_family(hg, 0)
+
+    def test_translate_length_validated(self, hg):
+        mutant = isomorphic_mutant(hg, seed=8)
+        with pytest.raises(ValueError):
+            mutant.translate_assignment([0, 1])
+
+    def test_ordering_sensitivity_detects_chance_component(self, hg):
+        """A move-based heuristic with a fixed seed still varies across
+        isomorphic relabelings — the Brglez 'due to chance' component."""
+        cuts = ordering_sensitivity(
+            FMPartitioner(tolerance=0.1), hg, num_mutants=6, seed=0
+        )
+        assert len(cuts) == 6
+        assert len(set(cuts)) > 1  # not ordering-robust
+
+    def test_ordering_sensitivity_cross_checks_cuts(self, hg):
+        # The helper internally verifies translation preserves cuts; a
+        # clean run implies the isomorphism invariant held 6 times.
+        ordering_sensitivity(
+            FMPartitioner(tolerance=0.1), hg, num_mutants=3, seed=1
+        )

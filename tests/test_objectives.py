@@ -1,0 +1,104 @@
+"""Tests for the alternative partitioning objectives."""
+
+import pytest
+
+from repro.core import (
+    OBJECTIVES,
+    absorption_cost,
+    cut_cost,
+    ratio_cut_cost,
+    scaled_cost,
+)
+from repro.hypergraph import Hypergraph
+from repro.instances import generate_circuit
+
+
+@pytest.fixture
+def hg(tiny):
+    return tiny
+
+
+GOOD = [0, 0, 0, 1, 1, 1]
+BAD = [0, 1, 0, 1, 0, 1]
+
+
+class TestCut:
+    def test_matches_hypergraph_cut(self, hg):
+        assert cut_cost(hg, GOOD) == hg.cut_size(GOOD)
+
+    def test_validation(self, hg):
+        with pytest.raises(ValueError):
+            cut_cost(hg, [0, 1])
+        with pytest.raises(ValueError):
+            cut_cost(hg, GOOD, k=1)
+        with pytest.raises(ValueError):
+            cut_cost(hg, [0, 0, 0, 1, 1, 5], k=2)
+
+
+class TestRatioCut:
+    def test_prefers_good_bisection(self, hg):
+        assert ratio_cut_cost(hg, GOOD) < ratio_cut_cost(hg, BAD)
+
+    def test_two_way_formula(self, hg):
+        # sum cut/W_p = cut * W / (W0 * W1); here cut=1, W0=W1=3.
+        assert ratio_cut_cost(hg, GOOD) == pytest.approx(1 / 3 + 1 / 3)
+
+    def test_empty_part_infinite(self, hg):
+        assert ratio_cut_cost(hg, [0] * 6) == float("inf")
+
+    def test_penalizes_imbalance(self):
+        # A chain 0-1-2-3: cut {0|123} = 1 net, cut {01|23} = 1 net;
+        # ratio cut must prefer the balanced split.
+        chain = Hypergraph([[0, 1], [1, 2], [2, 3]], num_vertices=4)
+        balanced = ratio_cut_cost(chain, [0, 0, 1, 1])
+        lopsided = ratio_cut_cost(chain, [0, 1, 1, 1])
+        assert balanced < lopsided
+
+
+class TestScaledCost:
+    def test_prefers_good_bisection(self, hg):
+        assert scaled_cost(hg, GOOD) < scaled_cost(hg, BAD)
+
+    def test_empty_part_infinite(self, hg):
+        assert scaled_cost(hg, [1] * 6) == float("inf")
+
+    def test_kway(self, hg):
+        val = scaled_cost(hg, [0, 0, 1, 1, 2, 2], k=3)
+        assert val > 0
+
+
+class TestAbsorption:
+    def test_fully_absorbed_is_minimum(self, hg):
+        # All vertices on one side: every net fully absorbed -> the
+        # negated absorption reaches its minimum (-sum of net weights).
+        assert absorption_cost(hg, [0] * 6) == pytest.approx(-7.0)
+
+    def test_prefers_good_bisection(self, hg):
+        assert absorption_cost(hg, GOOD) < absorption_cost(hg, BAD)
+
+    def test_weighted(self, weighted_tiny):
+        # Uncut weighted nets contribute their full weight.
+        assert absorption_cost(weighted_tiny, [0] * 6) == pytest.approx(-11.0)
+
+
+class TestRegistry:
+    def test_all_objectives_runnable(self):
+        hg = generate_circuit(60, seed=5)
+        assignment = [v % 2 for v in range(60)]
+        for name, fn in OBJECTIVES.items():
+            val = fn(hg, assignment)
+            assert isinstance(val, float), name
+
+    def test_objectives_agree_on_direction(self):
+        """All objectives must rank an optimized bisection above a
+        random one (they disagree on magnitudes, not on obvious wins)."""
+        from repro.core import FMPartitioner
+
+        hg = generate_circuit(120, seed=6)
+        import random
+
+        rng = random.Random(0)
+        bad = [rng.randint(0, 1) for _ in range(120)]
+        good = FMPartitioner(tolerance=0.1).partition(hg, seed=0).assignment
+        for name, fn in OBJECTIVES.items():
+            assert fn(hg, good) < fn(hg, bad), name

@@ -1,0 +1,127 @@
+"""Tests for the Pareto frontier and speed-dependent ranking."""
+
+import random
+
+import pytest
+
+from repro.evaluation import (
+    PerfPoint,
+    TrialRecord,
+    best_for_budget,
+    dominates,
+    frontier_from_records,
+    non_dominated,
+    ranking_diagram,
+)
+
+
+def rec(h, cut, t, seed=0):
+    return TrialRecord(
+        heuristic=h, instance="i", seed=seed, cut=cut,
+        runtime_seconds=t, legal=True,
+    )
+
+
+class TestDominance:
+    def test_strict_definition(self):
+        a = PerfPoint(cost=10, time=1)
+        b = PerfPoint(cost=20, time=2)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_equal_coordinate_no_domination(self):
+        a = PerfPoint(cost=10, time=1)
+        c = PerfPoint(cost=10, time=2)
+        # Same cost: the paper's definition needs strictly lower BOTH.
+        assert not dominates(a, c)
+        d = PerfPoint(cost=5, time=1)
+        assert not dominates(d, a)  # same time
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        pts = [
+            PerfPoint(10, 10, "slow-good"),
+            PerfPoint(30, 1, "fast-bad"),
+            PerfPoint(31, 11, "dominated"),
+        ]
+        frontier = non_dominated(pts)
+        labels = {p.label for p in frontier}
+        assert labels == {"slow-good", "fast-bad"}
+
+    def test_sorted_by_time(self):
+        pts = [PerfPoint(10, 10), PerfPoint(30, 1), PerfPoint(20, 5)]
+        frontier = non_dominated(pts)
+        times = [p.time for p in frontier]
+        assert times == sorted(times)
+
+    def test_frontier_costs_decrease_with_time(self):
+        pts = [PerfPoint(10, 10), PerfPoint(30, 1), PerfPoint(20, 5)]
+        frontier = non_dominated(pts)
+        costs = [p.cost for p in frontier]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_from_records(self):
+        rs = [
+            rec("fast", 30, 0.1),
+            rec("fast", 32, 0.1, seed=1),
+            rec("strong", 20, 1.0),
+            rec("strong", 22, 1.0, seed=1),
+            rec("useless", 40, 2.0),
+        ]
+        frontier = frontier_from_records(rs)
+        labels = [p.label for p in frontier]
+        assert "useless" not in labels
+        assert set(labels) == {"fast", "strong"}
+
+    def test_best_for_budget(self):
+        frontier = non_dominated(
+            [PerfPoint(10, 10, "a"), PerfPoint(30, 1, "b")]
+        )
+        assert best_for_budget(frontier, 2.0).label == "b"
+        assert best_for_budget(frontier, 50.0).label == "a"
+        with pytest.raises(ValueError):
+            best_for_budget(frontier, 0.5)
+
+
+class TestRanking:
+    def _records(self):
+        rng = random.Random(0)
+        rs = []
+        # "fast" finishes in 0.1s with cuts ~30; "strong" needs 1s, cuts ~15.
+        for s in range(15):
+            rs.append(rec("fast", 28 + rng.random() * 4, 0.1, s))
+            rs.append(rec("strong", 14 + rng.random() * 2, 1.0, s))
+        return rs
+
+    def test_fast_wins_small_budgets_strong_wins_large(self):
+        diagram = ranking_diagram(
+            self._records(), taus=[0.15, 5.0], num_shuffles=100
+        )
+        assert diagram.winner_at(0) == "fast"
+        assert diagram.winner_at(1) == "strong"
+
+    def test_unavailable_regime_marked_none(self):
+        diagram = ranking_diagram(
+            self._records(), taus=[0.12], num_shuffles=20
+        )
+        assert diagram.mean_ctau["strong"][0] is None
+        assert diagram.winner_at(0) == "fast"
+
+    def test_dominance_regions(self):
+        diagram = ranking_diagram(
+            self._records(), taus=[0.15, 0.3, 5.0, 10.0], num_shuffles=100
+        )
+        regions = diagram.dominance_regions()
+        winners = [w for _, _, w in regions]
+        assert winners[0] == "fast"
+        assert winners[-1] == "strong"
+
+    def test_render(self):
+        diagram = ranking_diagram(
+            self._records(), taus=[0.15, 5.0], num_shuffles=50
+        )
+        text = diagram.render()
+        assert "tau" in text
+        assert "fast" in text and "strong" in text
+        assert "*" in text  # winners starred

@@ -1,0 +1,108 @@
+"""Tests for the top-down placement flow."""
+
+import random
+
+import pytest
+
+from repro.core import FMConfig, FMPartitioner
+from repro.instances import generate_circuit
+from repro.placement import Region, TopDownPlacer, spread_cells_in_region
+
+
+@pytest.fixture(scope="module")
+def hg():
+    return generate_circuit(250, seed=90)
+
+
+class TestRegion:
+    def test_geometry(self):
+        r = Region(0, 0, 10, 4, cells=(1, 2))
+        assert r.width == 10
+        assert r.height == 4
+        assert r.center == (5, 2)
+        assert r.area == 40
+        assert r.cut_vertically()  # wider than tall
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Region(5, 0, 4, 1, cells=())
+
+    def test_split_vertical(self):
+        r = Region(0, 0, 10, 10, cells=(0, 1, 2, 3))
+        a, b = r.split(True, 0.3, (0, 1), (2, 3))
+        assert a.x1 == pytest.approx(3.0)
+        assert b.x0 == pytest.approx(3.0)
+        assert a.cells == (0, 1)
+        assert b.cells == (2, 3)
+
+    def test_split_horizontal(self):
+        r = Region(0, 0, 10, 10, cells=(0, 1))
+        a, b = r.split(False, 0.5, (0,), (1,))
+        assert a.y1 == pytest.approx(5.0)
+        assert b.y0 == pytest.approx(5.0)
+
+    def test_split_fraction_validated(self):
+        r = Region(0, 0, 1, 1, cells=())
+        with pytest.raises(ValueError):
+            r.split(True, 0.0, (), ())
+
+    def test_spread_cells_within_bounds(self):
+        r = Region(2, 3, 6, 9, cells=tuple(range(7)))
+        placed = spread_cells_in_region(r, list(range(7)))
+        assert len(placed) == 7
+        for _, x, y in placed:
+            assert 2 <= x <= 6
+            assert 3 <= y <= 9
+
+    def test_spread_empty(self):
+        r = Region(0, 0, 1, 1, cells=())
+        assert spread_cells_in_region(r, []) == []
+
+
+class TestPlacer:
+    def test_places_every_cell_on_die(self, hg):
+        placer = TopDownPlacer(die_width=50, die_height=40, seed=1)
+        placement = placer.place(hg)
+        assert len(placement.positions) == hg.num_vertices
+        for x, y in placement.positions.values():
+            assert 0 <= x <= 50
+            assert 0 <= y <= 40
+
+    def test_hpwl_beats_random_placement(self, hg):
+        placement = TopDownPlacer(seed=1).place(hg)
+        rng = random.Random(0)
+        random_positions = {
+            v: (rng.uniform(0, 100), rng.uniform(0, 100))
+            for v in range(hg.num_vertices)
+        }
+        from repro.placement import Placement
+
+        random_placement = Placement(positions=random_positions, hypergraph=hg)
+        assert placement.hpwl() < 0.7 * random_placement.hpwl()
+
+    def test_terminal_propagation_creates_fixed_instances(self, hg):
+        placement = TopDownPlacer(seed=1).place(hg)
+        # The paper: "almost all hypergraph partitioning instances have
+        # many vertices fixed in partitions due to terminal propagation".
+        assert placement.num_fixed_terminals > placement.num_partitioning_calls
+
+    def test_terminal_propagation_improves_hpwl(self, hg):
+        with_tp = TopDownPlacer(seed=1, terminal_propagation=True).place(hg)
+        without = TopDownPlacer(seed=1, terminal_propagation=False).place(hg)
+        assert with_tp.hpwl() < without.hpwl()
+
+    def test_min_region_cells_bounds_leaves(self, hg):
+        placer = TopDownPlacer(min_region_cells=20, seed=1)
+        placement = placer.place(hg)
+        for region in placement.leaf_regions:
+            assert len(region.cells) <= 20
+
+    def test_custom_partitioner(self, hg):
+        clip = FMPartitioner(FMConfig(clip=True), tolerance=0.1)
+        placement = TopDownPlacer(partitioner=clip, seed=1).place(hg)
+        assert len(placement.positions) == hg.num_vertices
+
+    def test_runtime_recorded(self, hg):
+        placement = TopDownPlacer(seed=1).place(hg)
+        assert placement.runtime_seconds > 0
+        assert placement.num_partitioning_calls > 0

@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These guard the incremental bookkeeping that every experiment in the
+paper rests on: if cut/gain maintenance drifts, every table is garbage —
+the exact "poorly implemented testbench" failure mode of Section 2.2.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BalanceConstraint,
+    FMConfig,
+    FMEngine,
+    GainBuckets,
+    InsertionOrder,
+    Partition2,
+)
+from repro.evaluation import PerfPoint, dominates, non_dominated
+from repro.hypergraph import Hypergraph
+from repro.multilevel import coarsen, first_choice_clustering, heavy_edge_matching
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def hypergraphs(draw, max_vertices=24, max_nets=40):
+    """Arbitrary small hypergraphs with integer weights."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    num_nets = draw(st.integers(min_value=1, max_value=max_nets))
+    nets = []
+    for _ in range(num_nets):
+        size = draw(st.integers(min_value=2, max_value=min(5, n)))
+        pins = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        nets.append(pins)
+    vertex_weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=9), min_size=n, max_size=n
+        )
+    )
+    net_weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=4),
+            min_size=num_nets,
+            max_size=num_nets,
+        )
+    )
+    return Hypergraph(
+        nets, num_vertices=n,
+        vertex_weights=vertex_weights, net_weights=net_weights,
+    )
+
+
+@st.composite
+def hypergraph_and_assignment(draw):
+    hg = draw(hypergraphs())
+    assignment = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1),
+            min_size=hg.num_vertices,
+            max_size=hg.num_vertices,
+        )
+    )
+    return hg, assignment
+
+
+class TestPartitionInvariants:
+    @SETTINGS
+    @given(data=hypergraph_and_assignment(), moves=st.lists(st.integers(0, 1000), max_size=30))
+    def test_incremental_cut_equals_scratch(self, data, moves):
+        hg, assignment = data
+        part = Partition2(hg, assignment)
+        for m in moves:
+            part.move(m % hg.num_vertices)
+        assert part.cut == hg.cut_size(part.assignment)
+        part.check_consistency()
+
+    @SETTINGS
+    @given(data=hypergraph_and_assignment())
+    def test_gain_equals_brute_force(self, data):
+        hg, assignment = data
+        part = Partition2(hg, assignment)
+        for v in range(hg.num_vertices):
+            before = part.cut
+            clone = part.copy()
+            clone.move(v)
+            assert part.gain(v) == before - clone.cut
+
+    @SETTINGS
+    @given(data=hypergraph_and_assignment(), seed=st.integers(0, 10))
+    def test_fm_never_worsens_and_stays_consistent(self, data, seed):
+        hg, assignment = data
+        part = Partition2(hg, assignment)
+        initial = part.cut
+        balance = BalanceConstraint(hg.total_vertex_weight, 0.5)
+        initially_legal = balance.is_legal(part.part_weights)
+        engine = FMEngine(balance, FMConfig(max_passes=3), random.Random(seed))
+        engine.refine(part)
+        part.check_consistency()
+        if initially_legal:
+            # From a legal start, FM may never worsen the cut and may
+            # never leave the balance window.
+            assert part.cut <= initial
+            assert balance.is_legal(part.part_weights)
+
+
+class TestCoarseningInvariants:
+    @SETTINGS
+    @given(hg=hypergraphs(), seed=st.integers(0, 100))
+    def test_weight_conservation_and_cut_projection(self, hg, seed):
+        rng = random.Random(seed)
+        scheme = heavy_edge_matching if seed % 2 else first_choice_clustering
+        level = coarsen(hg, scheme(hg, rng))
+        assert abs(
+            level.coarse.total_vertex_weight - hg.total_vertex_weight
+        ) < 1e-9
+        coarse_assignment = [
+            rng.randint(0, 1) for _ in range(level.coarse.num_vertices)
+        ]
+        fine = level.project_assignment(coarse_assignment)
+        assert hg.cut_size(fine) == level.coarse.cut_size(coarse_assignment)
+
+    @SETTINGS
+    @given(hg=hypergraphs(), seed=st.integers(0, 100))
+    def test_coarse_pin_total_not_larger(self, hg, seed):
+        level = coarsen(hg, heavy_edge_matching(hg, random.Random(seed)))
+        assert level.coarse.num_pins <= hg.num_pins
+
+
+class TestGainBucketModel:
+    """Model-based test: the bucket structure against a dict model."""
+
+    @SETTINGS
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "remove", "update"]),
+                st.integers(0, 14),
+                st.integers(-6, 6),
+            ),
+            max_size=60,
+        ),
+        order=st.sampled_from(list(InsertionOrder)),
+    )
+    def test_against_dict_model(self, ops, order):
+        buckets = GainBuckets(15, 6, order, random.Random(0))
+        model = {}
+        for op, v, key in ops:
+            if op == "insert" and v not in model:
+                buckets.insert(v, key)
+                model[v] = key
+            elif op == "remove" and v in model:
+                buckets.remove(v)
+                del model[v]
+            elif op == "update" and v in model:
+                buckets.update(v, key)
+                model[v] = key
+            # Invariants after every operation:
+            assert len(buckets) == len(model)
+            if model:
+                assert buckets.max_key() == max(model.values())
+                head = buckets.head()
+                assert model[head] == max(model.values())
+            else:
+                assert buckets.max_key() is None
+            for v2, k2 in model.items():
+                assert v2 in buckets
+                assert buckets.key_of(v2) == k2
+            assert sorted(buckets.iter_descending()) == sorted(model)
+
+
+class TestParetoInvariants:
+    @SETTINGS
+    @given(
+        pts=st.lists(
+            st.tuples(
+                st.integers(0, 50), st.integers(0, 50)
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_frontier_properties(self, pts):
+        points = [PerfPoint(cost=c, time=t) for c, t in pts]
+        frontier = non_dominated(points)
+        # 1. Nonempty (a global min-cost point is never dominated... it
+        #    could be dominated only by strictly lower cost).
+        assert frontier
+        # 2. No frontier point dominates another.
+        for a in frontier:
+            for b in frontier:
+                assert not dominates(a, b)
+        # 3. Every dropped point is dominated by some frontier point.
+        dropped = [p for p in points if p not in frontier]
+        for p in dropped:
+            assert any(dominates(q, p) for q in frontier)
+        # 4. Frontier of frontier is itself.
+        assert non_dominated(frontier) == frontier
+
+
+class TestBalanceInvariants:
+    @SETTINGS
+    @given(
+        total=st.floats(min_value=1.0, max_value=1e6),
+        tol=st.floats(min_value=0.0, max_value=0.99),
+        w0=st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_violation_distance_consistency(self, total, tol, w0):
+        b = BalanceConstraint(total, tol)
+        weights = [w0, max(total - w0, 0.0)]
+        legal = b.is_legal(weights)
+        assert legal == (b.violation(weights) == 0.0)
+        assert legal == (b.distance_from_bounds(weights) >= 0.0)

@@ -1,0 +1,101 @@
+"""Property-based tests: I/O round-trips and k-way invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import KWayBalance, KWayFM, PartitionK
+from repro.hypergraph import read_hgr, write_hgr
+from repro.hypergraph.io_solution import read_solution, write_solution
+from tests.test_properties import hypergraphs
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestIORoundTrips:
+    @SETTINGS
+    @given(hg=hypergraphs())
+    def test_hgr_round_trip_preserves_structure(self, hg, tmp_path_factory):
+        path = tmp_path_factory.mktemp("hgr") / "t.hgr"
+        write_hgr(hg, path, write_net_weights=True, write_vertex_weights=True)
+        back = read_hgr(path)
+        assert back.num_vertices == hg.num_vertices
+        assert back.num_nets == hg.num_nets
+        for e in hg.nets():
+            assert back.pins_of(e) == hg.pins_of(e)
+            assert back.net_weight(e) == hg.net_weight(e)
+        assert back.vertex_weights == hg.vertex_weights
+
+    @SETTINGS
+    @given(
+        hg=hypergraphs(),
+        seed=st.integers(0, 100),
+        k=st.integers(2, 4),
+    )
+    def test_solution_round_trip(self, hg, seed, k, tmp_path_factory):
+        rng = random.Random(seed)
+        assignment = [rng.randrange(k) for _ in range(hg.num_vertices)]
+        path = tmp_path_factory.mktemp("sol") / "s.part"
+        write_solution(assignment, path, hg, k=k)
+        assert read_solution(path, hg) == assignment
+
+
+class TestKWayProperties:
+    @SETTINGS
+    @given(
+        hg=hypergraphs(),
+        seed=st.integers(0, 50),
+        k=st.integers(2, 4),
+        moves=st.lists(
+            st.tuples(st.integers(0, 1000), st.integers(0, 3)), max_size=25
+        ),
+    )
+    def test_incremental_kway_state(self, hg, seed, k, moves):
+        rng = random.Random(seed)
+        assignment = [rng.randrange(k) for _ in range(hg.num_vertices)]
+        part = PartitionK(hg, assignment, k)
+        for v, dest in moves:
+            part.move(v % hg.num_vertices, dest % k)
+        part.check_consistency()
+        assert part.cut == hg.cut_size(part.assignment)
+        assert part.connectivity == hg.connectivity_cut(part.assignment)
+        # Connectivity dominates cut; both non-negative.
+        assert 0 <= part.cut <= part.connectivity
+
+    @SETTINGS
+    @given(hg=hypergraphs(), seed=st.integers(0, 20), k=st.integers(2, 3))
+    def test_kway_fm_never_worsens_from_legal(self, hg, seed, k):
+        engine = KWayFM(k, tolerance=0.9, max_passes=2)
+        rng = random.Random(seed)
+        assignment = [rng.randrange(k) for _ in range(hg.num_vertices)]
+        part = PartitionK(hg, assignment, k)
+        balance = KWayBalance(hg.total_vertex_weight, k, 0.9)
+        before = part.cut
+        engine.refine(part)
+        part.check_consistency()
+        if balance.is_legal(hg.part_weights(assignment, k)):
+            assert part.cut <= before
+
+    @SETTINGS
+    @given(
+        total=st.floats(min_value=1.0, max_value=1e6),
+        tol=st.floats(min_value=0.0, max_value=0.9),
+        k=st.integers(2, 8),
+    )
+    def test_balance_window_contains_ideal(self, total, tol, k):
+        b = KWayBalance(total, k, tol)
+        ideal = total / k
+        assert b.lower_bound <= ideal <= b.upper_bound
+        assert b.is_legal([ideal] * k)
+        # k = 2 reduces to the paper's 2-way convention.
+        if k == 2:
+            from repro.core import BalanceConstraint
+
+            b2 = BalanceConstraint(total, tol)
+            assert abs(b.lower_bound - b2.lower_bound) < 1e-6 * total
+            assert abs(b.upper_bound - b2.upper_bound) < 1e-6 * total

@@ -1,0 +1,172 @@
+"""Tests for significance tests, CPU normalization and table rendering."""
+
+import random
+
+import pytest
+
+from repro.evaluation import (
+    CpuNormalizer,
+    TrialRecord,
+    ascii_table,
+    calibration_factor,
+    comparison_table,
+    configuration_table,
+    cut_time_cell,
+    mann_whitney,
+    min_avg_cell,
+    paired_wilcoxon,
+    permutation_test,
+    reference_workload,
+    summary_by_heuristic,
+    table1_grid,
+)
+
+
+def rec(h, cut, seed, i="x", t=1.0):
+    return TrialRecord(
+        heuristic=h, instance=i, seed=seed, cut=cut,
+        runtime_seconds=t, legal=True,
+    )
+
+
+def paired_records(gap=10.0, n=20, noise=2.0, seed=0):
+    rng = random.Random(seed)
+    rs = []
+    for s in range(n):
+        base = 50 + rng.random() * noise
+        rs.append(rec("good", base, s))
+        rs.append(rec("bad", base + gap, s))
+    return rs
+
+
+class TestSignificance:
+    def test_wilcoxon_detects_clear_gap(self):
+        r = paired_wilcoxon(paired_records(gap=10), "good", "bad")
+        assert r.significant
+        assert r.better == "good"
+
+    def test_wilcoxon_identical_not_significant(self):
+        rs = []
+        for s in range(10):
+            rs.append(rec("a", 50, s))
+            rs.append(rec("b", 50, s))
+        r = paired_wilcoxon(rs, "a", "b")
+        assert not r.significant
+        assert r.better is None
+        assert r.p_value == 1.0
+
+    def test_wilcoxon_needs_pairs(self):
+        rs = [rec("a", 50, 0), rec("b", 50, 1)]  # disjoint seeds
+        with pytest.raises(ValueError):
+            paired_wilcoxon(rs, "a", "b")
+
+    def test_mann_whitney(self):
+        r = mann_whitney(paired_records(gap=10), "good", "bad")
+        assert r.significant
+        assert r.better == "good"
+
+    def test_permutation(self):
+        r = permutation_test(
+            paired_records(gap=10), "good", "bad", num_permutations=500
+        )
+        assert r.significant
+        assert r.test == "permutation"
+
+    def test_permutation_no_gap_not_significant(self):
+        r = permutation_test(
+            paired_records(gap=0.0, noise=5.0), "good", "bad",
+            num_permutations=500,
+        )
+        assert not r.significant
+
+    def test_missing_heuristic_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney(paired_records(), "good", "nope")
+
+
+class TestCpuNorm:
+    def test_reference_workload_runs(self):
+        t = reference_workload(scale=20000)
+        assert t > 0
+
+    def test_calibration_factor(self):
+        assert calibration_factor(2.0, 1.0) == 0.5
+        with pytest.raises(ValueError):
+            calibration_factor(0.0, 1.0)
+
+    def test_normalize_applies_per_instance_factors(self):
+        norm = CpuNormalizer(global_factor=2.0, per_instance={"x": 0.5})
+        rs = [rec("h", 10, 0, i="x", t=4.0), rec("h", 10, 0, i="y", t=4.0)]
+        out = norm.normalize(rs)
+        assert out[0].runtime_seconds == pytest.approx(2.0)
+        assert out[1].runtime_seconds == pytest.approx(8.0)
+        # Everything else preserved.
+        assert out[0].cut == 10
+
+    def test_calibrate(self):
+        norm = CpuNormalizer.calibrate(
+            run_workload=lambda seed: 2.0,
+            reference_seconds_by_instance={"x": 1.0, "y": 4.0},
+        )
+        assert norm.factor_for("x") == pytest.approx(0.5)
+        assert norm.factor_for("y") == pytest.approx(2.0)
+        assert norm.factor_for("unknown") == pytest.approx(1.25)
+
+
+class TestReporting:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["a", "bbb"], [["1", "2"], ["10", "20"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(ln) for ln in lines)) == 1
+
+    def test_ascii_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a"], [["1", "2"]])
+
+    def test_min_avg_cell(self):
+        rs = [rec("h", 333, 0), rec("h", 945, 1)]
+        assert min_avg_cell(rs) == "333/639"
+
+    def test_cut_time_cell(self):
+        assert cut_time_cell(265.66, 6.44) == "265.7/6.4"
+
+    def test_table1_grid_renders(self):
+        rs = []
+        for inst in ("i1", "i2"):
+            for upd in ("all", "nonzero"):
+                for bias in ("away", "part0"):
+                    for s in range(2):
+                        rs.append(
+                            rec(f"Flat LIFO {upd} {bias}", 100 + s, s, i=inst)
+                        )
+        text = table1_grid(
+            rs,
+            engines=["Flat LIFO"],
+            variants=[("all", "away"), ("all", "part0"),
+                      ("nonzero", "away"), ("nonzero", "part0")],
+            instances=["i1", "i2"],
+        )
+        assert "Flat LIFO" in text
+        assert "100/100" in text
+
+    def test_comparison_table_renders(self):
+        rs = [rec("a", 10, 0, i="i1"), rec("b", 20, 0, i="i1")]
+        text = comparison_table(rs, {"a": "Our", "b": "Reported"}, ["i1"])
+        assert "Our" in text and "Reported" in text
+
+    def test_configuration_table_renders(self):
+        results = {
+            "ibm01s": {
+                1: {"avg_best_cut": 265.7, "avg_cpu_seconds": 6.4},
+                2: {"avg_best_cut": 264.1, "avg_cpu_seconds": 8.2},
+            }
+        }
+        text = configuration_table(results, [1, 2])
+        assert "265.7/6.4" in text
+        assert "cfg 2" in text
+
+    def test_summary_by_heuristic(self):
+        rs = [rec("a", 10, 0), rec("a", 14, 1), rec("b", 20, 0)]
+        text = summary_by_heuristic(rs)
+        assert "10/12" in text

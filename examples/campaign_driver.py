@@ -3,18 +3,22 @@
 The paper argues every per-trial datum should be collected and kept
 ("Do collect all data possible"), with richer presentations (full
 distributions, significance) derived afterwards.  A
-:class:`~repro.evaluation.CampaignSpec` makes that a one-liner:
+:class:`~repro.evaluation.CampaignSpec` makes that a one-liner, and the
+:mod:`repro.orchestrate` subsystem executes it at hardware speed:
 
 * declare heuristics + instances + start counts,
-* run with identical seed streams across heuristics,
-* persist every trial to JSONL,
+* run across a worker pool with identical seed streams — parallel
+  results are byte-identical to serial ones,
+* journal every trial to a crash-safe JSONL store the moment it
+  finishes (kill the process, run again with ``resume=True``, and no
+  journaled trial reruns),
 * render the complete Section 3.2 report (traditional table, Pareto
   frontier, speed-dependent ranking, pairwise significance matrix).
 
 Also demonstrates the shmetis-compatible entry point the paper's
 Tables 4-5 protocol drives (UBfactor 1 == the paper's 2% constraint).
 
-Run:  python examples/campaign_driver.py [num_starts]
+Run:  python examples/campaign_driver.py [num_starts] [workers]
 """
 
 import sys
@@ -26,9 +30,10 @@ from repro.core import FMConfig, FMPartitioner
 from repro.evaluation import CampaignSpec, load_records, run_campaign
 from repro.instances import suite_instance
 from repro.multilevel import MLPartitioner, shmetis
+from repro.orchestrate import ProgressPrinter, RunStore
 
 
-def main(num_starts: int = 8) -> None:
+def main(num_starts: int = 8, workers: int = 2) -> None:
     instances = {
         "ibm01s": suite_instance("ibm01s"),
         "ibm02s": suite_instance("ibm02s", scale=32),
@@ -45,16 +50,37 @@ def main(num_starts: int = 8) -> None:
         instances=instances,
         num_starts=num_starts,
     )
-    result = run_campaign(spec)
-    print(result.report(num_shuffles=60))
 
-    # Records persist and reload losslessly: later analyses never need
-    # to re-run the experiment.
     with tempfile.TemporaryDirectory() as tmp:
-        out = result.save(tmp)
+        # run_campaign routes through repro.orchestrate: a worker pool
+        # executes the trial plan and every finished trial is journaled
+        # immediately under <tmp>/engine-ladder/journal.jsonl.
+        result = run_campaign(
+            spec,
+            workers=workers,
+            store_dir=tmp,
+            progress=ProgressPrinter(interval=2.0),
+        )
+        print(result.report(num_shuffles=60))
+
+        # The journal is the source of truth: reloading it yields the
+        # identical record stream, and a second (resumed) invocation
+        # reruns nothing — the whole campaign is already journaled.
+        store = RunStore(Path(tmp) / spec.name)
+        assert store.records() == result.records
+        resumed = run_campaign(
+            spec, workers=workers, store_dir=tmp, resume=True
+        )
+        assert resumed.records == result.records
+        print(f"\njournaled {len(result.records)} trials; "
+              f"resume reran 0 (status: {store.status()})")
+
+        # Records also persist in the classic flat format; later
+        # analyses never need to re-run the experiment.
+        out = result.save(tmp, num_shuffles=60)
         reloaded = load_records(Path(out) / "records.jsonl")
         assert reloaded == result.records
-        print(f"\npersisted {len(reloaded)} trial records to {out}")
+        print(f"persisted {len(reloaded)} trial records to {out}")
 
     # The shmetis-style call the paper's Tables 4-5 are built on:
     hg = instances["ibm01s"]
@@ -67,4 +93,7 @@ def main(num_starts: int = 8) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 8,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 2,
+    )

@@ -21,6 +21,9 @@ Subpackages
 ``repro.evaluation``
     Experiment runner, BSF curves, Pareto frontiers, speed-dependent
     rankings, significance tests, CPU normalization, paper-style tables.
+``repro.orchestrate``
+    Parallel, crash-safe campaign orchestration: trial plans, run
+    journal with resume, timeouts/retries, progress events.
 ``repro.placement``
     Top-down recursive min-cut placement with terminal propagation —
     the driving application of Section 2.1.

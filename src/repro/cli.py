@@ -1,18 +1,25 @@
 """Command-line interface.
 
-Four subcommands mirror a practitioner's workflow::
+The subcommands mirror a practitioner's workflow::
 
     python -m repro stats     circuit.hgr
     python -m repro generate  --cells 2000 --seed 7 -o circuit.hgr
     python -m repro partition circuit.hgr --engine ml-clip --tolerance 0.02 \
                               --starts 4 -o circuit.part.2
     python -m repro evaluate  circuit.hgr --starts 10
+    python -m repro campaign  run circuit.hgr --starts 20 --workers 4 \
+                              --store-dir campaigns --progress
+    python -m repro campaign  resume campaigns/campaign
+    python -m repro campaign  status campaigns/campaign
+    python -m repro campaign  report campaigns/campaign
 
 ``partition`` accepts both hMetis ``.hgr`` and ISPD98 ``.netD`` (with
 optional ``--are``) inputs, writes an hMetis-style solution file, and
 prints cut / balance / runtime.  ``evaluate`` runs the engine ladder and
 prints the traditional table plus the non-dominated frontier — the
-Section 3.2 reporting discipline from the shell.
+Section 3.2 reporting discipline from the shell.  ``campaign`` drives
+the :mod:`repro.orchestrate` subsystem: parallel workers, a crash-safe
+per-trial journal, resume after a kill, and live progress.
 """
 
 from __future__ import annotations
@@ -139,28 +146,159 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_report(args: argparse.Namespace) -> int:
-    """Run a full campaign on one instance and save records + report."""
+def _campaign_spec(args: argparse.Namespace):
+    """Engine-ladder campaign spec shared by ``report`` and
+    ``campaign run``."""
     from pathlib import Path
 
-    from repro.evaluation import CampaignSpec, run_campaign
+    from repro.evaluation import CampaignSpec
 
     hg = _load(args.input, args.are)
     engines = [
         _make_engine(name, args.tolerance)
         for name in ("flat-lifo", "flat-clip", "ml-lifo", "ml-clip")
     ]
-    spec = CampaignSpec(
+    return CampaignSpec(
         name=args.name,
         heuristics=engines,
         instances={Path(args.input).name: hg},
         num_starts=args.starts,
         base_seed=args.seed,
     )
-    result = run_campaign(spec)
-    out = result.save(args.output_dir)
-    print(result.report())
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run a full campaign on one instance and save records + report."""
+    from repro.evaluation import run_campaign
+
+    result = run_campaign(_campaign_spec(args))
+    out = result.save(args.output_dir, num_shuffles=args.num_shuffles)
+    print(result.report(num_shuffles=args.num_shuffles))
     print(f"\nsaved records and report under {out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """Orchestrated campaign: parallel workers + crash-safe journal."""
+    from pathlib import Path
+
+    from repro.orchestrate import ProgressPrinter, orchestrate_campaign
+
+    spec = _campaign_spec(args)
+    cli_meta = {
+        "input": str(Path(args.input).resolve()),
+        "are": str(Path(args.are).resolve()) if args.are else None,
+        "tolerance": args.tolerance,
+    }
+    result = orchestrate_campaign(
+        spec,
+        store_dir=args.store_dir,
+        workers=args.workers,
+        timeout_seconds=args.timeout,
+        max_retries=args.retries,
+        progress=ProgressPrinter() if args.progress else None,
+        resume=args.resume,
+        cli_meta=cli_meta,
+    )
+    print(result.report(num_shuffles=args.num_shuffles))
+    out = Path(args.store_dir) / spec.name
+    (out / "report.txt").write_text(
+        result.report(num_shuffles=args.num_shuffles), encoding="utf-8"
+    )
+    print(f"\njournal and report under {out}")
+    return 0
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    """Finish a killed/crashed campaign; journaled trials never rerun."""
+    from pathlib import Path
+
+    from repro.orchestrate import ProgressPrinter, RunStore, orchestrate_campaign
+
+    store = RunStore(args.campaign_dir)
+    meta = store.load_meta()
+    cli = meta.get("cli")
+    if not cli:
+        raise ValueError(
+            f"{store.meta_path} has no CLI metadata; this store was not "
+            "created by `repro campaign run` and cannot be resumed from "
+            "the command line"
+        )
+    ns = argparse.Namespace(
+        input=cli["input"],
+        are=cli.get("are"),
+        tolerance=cli.get("tolerance", 0.02),
+        name=meta["name"],
+        starts=meta["num_starts"],
+        seed=meta["base_seed"],
+    )
+    spec = _campaign_spec(ns)
+    result = orchestrate_campaign(
+        spec,
+        store_dir=Path(args.campaign_dir).parent,
+        workers=args.workers,
+        timeout_seconds=args.timeout,
+        max_retries=args.retries,
+        progress=ProgressPrinter() if args.progress else None,
+        resume=True,
+    )
+    print(result.report(num_shuffles=args.num_shuffles))
+    (Path(args.campaign_dir) / "report.txt").write_text(
+        result.report(num_shuffles=args.num_shuffles), encoding="utf-8"
+    )
+    print(f"\njournal and report under {args.campaign_dir}")
+    return 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    """Print journal progress of a (possibly running) campaign."""
+    from repro.orchestrate import RunStore
+
+    store = RunStore(args.campaign_dir)
+    meta = store.load_meta()
+    status = store.status()
+    print(f"campaign:  {meta['name']}")
+    print(f"spec hash: {meta['spec_hash']}")
+    print(
+        f"trials:    {status.done}/{status.total} journaled "
+        f"({status.ok} ok, {status.errors} errors, "
+        f"{status.remaining} remaining)"
+    )
+    best = {}
+    for o in store.outcomes():
+        if o.ok and (o.instance not in best or o.cut < best[o.instance]):
+            best[o.instance] = o.cut
+    for inst, cut in sorted(best.items()):
+        print(f"best cut:  {inst} = {cut:g}")
+    for o in store.errors():
+        first_line = (o.error or "").splitlines()[-1] if o.error else "?"
+        print(
+            f"error:     trial {o.trial} ({o.heuristic} on {o.instance}, "
+            f"seed {o.seed}, {o.attempts} attempt(s)): {first_line}"
+        )
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    """Render the full Section 3.2 report from a campaign journal."""
+    from repro.evaluation import CampaignResult
+    from repro.orchestrate import RunStore
+
+    store = RunStore(args.campaign_dir)
+    meta = store.load_meta()
+    result = CampaignResult(
+        spec_name=meta["name"],
+        records=store.records(),
+        alpha=meta.get("alpha", 0.05),
+    )
+    text = result.report(num_shuffles=args.num_shuffles)
+    print(text)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"\nwrote {args.output}")
     return 0
 
 
@@ -217,8 +355,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=0.02)
     p.add_argument("--starts", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--num-shuffles", type=int, default=100)
     p.add_argument("--output-dir", default="campaigns")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "campaign",
+        help="orchestrated campaigns: parallel, journaled, resumable",
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    c = csub.add_parser("run", help="run a campaign through the orchestrator")
+    c.add_argument("input")
+    c.add_argument("--are", help=".are area file for .netD inputs")
+    c.add_argument("--name", default="campaign")
+    c.add_argument("--tolerance", type=float, default=0.02)
+    c.add_argument("--starts", type=int, default=10)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--workers", type=int, default=1)
+    c.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-trial wall-clock timeout in seconds",
+    )
+    c.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts per trial after a failure",
+    )
+    c.add_argument("--store-dir", default="campaigns")
+    c.add_argument("--num-shuffles", type=int, default=100)
+    c.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing journal instead of refusing",
+    )
+    c.add_argument(
+        "--progress", action="store_true",
+        help="stream live progress events to stderr",
+    )
+    c.set_defaults(func=cmd_campaign_run)
+
+    c = csub.add_parser(
+        "resume", help="finish a killed campaign from its journal"
+    )
+    c.add_argument("campaign_dir")
+    c.add_argument("--workers", type=int, default=1)
+    c.add_argument("--timeout", type=float, default=None)
+    c.add_argument("--retries", type=int, default=0)
+    c.add_argument("--num-shuffles", type=int, default=100)
+    c.add_argument("--progress", action="store_true")
+    c.set_defaults(func=cmd_campaign_resume)
+
+    c = csub.add_parser("status", help="print journal progress")
+    c.add_argument("campaign_dir")
+    c.set_defaults(func=cmd_campaign_status)
+
+    c = csub.add_parser(
+        "report", help="render the report from a campaign journal"
+    )
+    c.add_argument("campaign_dir")
+    c.add_argument("--num-shuffles", type=int, default=100)
+    c.add_argument("-o", "--output")
+    c.set_defaults(func=cmd_campaign_report)
 
     return parser
 

@@ -49,14 +49,23 @@ class MultistartResult:
     def num_starts(self) -> int:
         return len(self.starts)
 
+    def _require_starts(self) -> None:
+        if not self.starts:
+            raise ValueError(
+                f"no starts recorded for {self.heuristic!r} on "
+                f"{self.instance!r}; aggregate statistics are undefined"
+            )
+
     @property
     def min_cut(self) -> float:
         """Best (minimum) cut over all starts."""
+        self._require_starts()
         return min(s.cut for s in self.starts)
 
     @property
     def avg_cut(self) -> float:
         """Average cut over all starts."""
+        self._require_starts()
         return sum(s.cut for s in self.starts) / len(self.starts)
 
     @property
@@ -65,6 +74,7 @@ class MultistartResult:
 
     @property
     def avg_runtime(self) -> float:
+        self._require_starts()
         return self.total_runtime / len(self.starts)
 
     def min_avg(self) -> str:

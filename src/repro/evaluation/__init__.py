@@ -60,7 +60,11 @@ from repro.evaluation.reporting import (
     summary_by_heuristic,
     table1_grid,
 )
-from repro.evaluation.runner import run_configuration_evaluation, run_trials
+from repro.evaluation.runner import (
+    configuration_seed,
+    run_configuration_evaluation,
+    run_trials,
+)
 from repro.evaluation.stats_tests import (
     ComparisonResult,
     mann_whitney,
@@ -85,6 +89,7 @@ __all__ = [
     "c_tau_samples",
     "calibration_factor",
     "comparison_table",
+    "configuration_seed",
     "configuration_table",
     "cut_time_cell",
     "default_tau_grid",

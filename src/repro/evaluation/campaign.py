@@ -22,7 +22,6 @@ from repro.evaluation.pareto import frontier_from_records
 from repro.evaluation.ranking import ranking_diagram
 from repro.evaluation.records import TrialRecord, save_records
 from repro.evaluation.reporting import ascii_table, summary_by_heuristic
-from repro.evaluation.runner import run_trials
 from repro.evaluation.stats_tests import paired_wilcoxon
 from repro.hypergraph.hypergraph import Hypergraph
 
@@ -121,28 +120,55 @@ class CampaignResult:
         ]
         return "\n".join(lines)
 
-    def save(self, directory: Union[str, Path]) -> Path:
+    def save(
+        self, directory: Union[str, Path], num_shuffles: int = 100
+    ) -> Path:
         """Persist records (JSONL) and the rendered report; returns the
-        campaign directory."""
+        campaign directory.
+
+        ``num_shuffles`` is forwarded to :meth:`report` (and the alpha
+        baked into this result is used throughout) so the saved report
+        is identical to the interactively rendered one.
+        """
         out = Path(directory) / self.spec_name
         out.mkdir(parents=True, exist_ok=True)
         save_records(self.records, out / "records.jsonl")
-        (out / "report.txt").write_text(self.report(), encoding="utf-8")
+        (out / "report.txt").write_text(
+            self.report(num_shuffles=num_shuffles), encoding="utf-8"
+        )
         return out
 
 
 def run_campaign(
     spec: CampaignSpec,
     fixed_parts: Optional[Dict[str, Sequence[Optional[int]]]] = None,
+    *,
+    workers: int = 1,
+    store_dir: Optional[Union[str, Path]] = None,
+    timeout_seconds: Optional[float] = None,
+    max_retries: int = 0,
+    progress=None,
+    resume: bool = False,
 ) -> CampaignResult:
-    """Execute a campaign spec and return its result."""
-    records = run_trials(
-        spec.heuristics,
-        spec.instances,
-        spec.num_starts,
-        base_seed=spec.base_seed,
+    """Execute a campaign spec and return its result.
+
+    Execution is routed through :mod:`repro.orchestrate`: pass
+    ``workers`` to parallelize across processes (records stay identical
+    to a serial run), ``store_dir`` to journal every trial for
+    crash-safe ``resume``, and ``timeout_seconds`` / ``max_retries``
+    to contain misbehaving trials as error records instead of aborting
+    the campaign.  The serial in-memory default is exactly the old
+    behavior of :func:`repro.evaluation.runner.run_trials`.
+    """
+    from repro.orchestrate import orchestrate_campaign
+
+    return orchestrate_campaign(
+        spec,
+        store_dir=store_dir,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        max_retries=max_retries,
         fixed_parts=fixed_parts,
-    )
-    return CampaignResult(
-        spec_name=spec.name, records=records, alpha=spec.alpha
+        progress=progress,
+        resume=resume,
     )

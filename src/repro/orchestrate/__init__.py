@@ -1,0 +1,52 @@
+"""Parallel, crash-safe campaign orchestration.
+
+Turns a declarative :class:`~repro.evaluation.campaign.CampaignSpec`
+into a deterministic, parallel, resumable execution:
+
+* :mod:`~repro.orchestrate.plan` — explicit trial expansion with
+  per-trial seeds and a spec fingerprint;
+* :mod:`~repro.orchestrate.store` — append-only JSONL journal + run
+  metadata, fsynced per trial, crash-tolerant on load;
+* :mod:`~repro.orchestrate.executor` — inline or multiprocessing
+  execution with per-trial timeouts and bounded retries;
+* :mod:`~repro.orchestrate.events` — structured progress events and a
+  CLI progress printer;
+* :mod:`~repro.orchestrate.orchestrator` — the driver gluing the
+  above into ``orchestrate_campaign``.
+
+Parallel runs are byte-identical to serial ones (same seeds, same
+cuts, canonical record order); killed runs resume without rerunning
+journaled trials.
+"""
+
+from repro.orchestrate.events import ProgressEvent, ProgressPrinter
+from repro.orchestrate.executor import ExecutionPolicy, execute_trials
+from repro.orchestrate.orchestrator import (
+    Orchestrator,
+    build_meta,
+    orchestrate_campaign,
+)
+from repro.orchestrate.plan import TrialPlan, expand_spec, spec_fingerprint
+from repro.orchestrate.store import (
+    RunStore,
+    StoreStatus,
+    TrialOutcome,
+    machine_info,
+)
+
+__all__ = [
+    "ExecutionPolicy",
+    "Orchestrator",
+    "ProgressEvent",
+    "ProgressPrinter",
+    "RunStore",
+    "StoreStatus",
+    "TrialOutcome",
+    "TrialPlan",
+    "build_meta",
+    "execute_trials",
+    "expand_spec",
+    "machine_info",
+    "orchestrate_campaign",
+    "spec_fingerprint",
+]

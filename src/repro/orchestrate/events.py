@@ -1,0 +1,84 @@
+"""Observability: structured progress events for running campaigns.
+
+The orchestrator emits one :class:`ProgressEvent` per resolved trial.
+Consumers are plain callables — a test can collect them in a list, the
+CLI attaches :class:`ProgressPrinter` for a live ``--progress`` stream,
+a dashboard could push them over a socket.  Events carry everything the
+paper's reporting discipline wants visible *while* an experiment runs:
+trials done/total, the live best-so-far cut per instance (the BSF curve
+being traced in real time), worker utilization and an ETA.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, TextIO
+
+from repro.orchestrate.store import TrialOutcome
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Snapshot of campaign progress after one trial resolved."""
+
+    done: int  #: resolved trials, including previously journaled ones
+    total: int
+    ok: int
+    errors: int
+    elapsed_seconds: float  #: wall clock since this run/resume began
+    eta_seconds: Optional[float]  #: None until at least one trial lands
+    best_by_instance: Dict[str, float] = field(default_factory=dict)
+    busy_workers: int = 0
+    num_workers: int = 1
+    last: Optional[TrialOutcome] = None  #: the outcome that triggered this
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+
+class ProgressPrinter:
+    """Render progress events as single-line text updates.
+
+    Throttled: prints at most once per ``interval`` seconds, plus always
+    on the final trial and on errors (an error record should never
+    scroll by unseen).
+    """
+
+    def __init__(
+        self, stream: Optional[TextIO] = None, interval: float = 0.5
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._last_print = 0.0
+
+    def __call__(self, event: ProgressEvent) -> None:
+        now = time.monotonic()
+        is_error = event.last is not None and not event.last.ok
+        if (
+            event.done < event.total
+            and not is_error
+            and now - self._last_print < self.interval
+        ):
+            return
+        self._last_print = now
+        eta = (
+            f"eta {event.eta_seconds:6.1f}s"
+            if event.eta_seconds is not None
+            else "eta    ?"
+        )
+        best = " ".join(
+            f"{name}={cut:g}"
+            for name, cut in sorted(event.best_by_instance.items())
+        )
+        line = (
+            f"[{event.done:4d}/{event.total}] "
+            f"{100 * event.fraction:5.1f}% "
+            f"workers {event.busy_workers}/{event.num_workers} "
+            f"{eta} best: {best}"
+        )
+        if is_error:
+            line += f"  ERROR trial {event.last.trial}: {event.last.error}"
+        print(line, file=self.stream)

@@ -1,0 +1,93 @@
+"""Trial scheduler: expand a campaign spec into an explicit trial plan.
+
+A campaign is heuristics × instances × independent starts.  The
+orchestrator never iterates that cross product implicitly — it first
+*expands* it into a flat, canonically ordered list of
+:class:`TrialPlan` entries, each carrying its own seed.  That explicit
+list is what makes the rest of the subsystem simple:
+
+* **Determinism** — seeds are a pure function of the spec
+  (``base_seed + start_index``, the same "apples to apples" stream
+  :func:`repro.evaluation.runner.run_trials` uses), so any execution
+  order (serial, 4 workers, resumed after a crash) produces the same
+  per-trial results.
+* **Resumability** — the journal records trial *indices*; resuming is
+  a set difference against the plan, never a guess.
+* **Integrity** — :func:`spec_fingerprint` hashes the logical content
+  of the spec (heuristic names, instance shapes, seed stream) so a
+  resume against a store created from a *different* spec is rejected.
+
+The canonical order matches the serial runner exactly: instances in
+declaration order, heuristics in declaration order, starts ascending.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.evaluation.campaign import CampaignSpec
+
+
+@dataclass(frozen=True)
+class TrialPlan:
+    """One scheduled trial: position in the canonical order plus seed."""
+
+    index: int  #: position in the canonical expansion (journal key)
+    heuristic: str
+    instance: str
+    seed: int
+
+
+def expand_spec(spec: "CampaignSpec") -> List[TrialPlan]:
+    """Expand a spec into its canonical trial list.
+
+    Start ``i`` of every heuristic on a given instance uses seed
+    ``spec.base_seed + i`` so all heuristics face identical randomness.
+    """
+    plan: List[TrialPlan] = []
+    index = 0
+    for instance_name in spec.instances:
+        for partitioner in spec.heuristics:
+            name = getattr(partitioner, "name", type(partitioner).__name__)
+            for i in range(spec.num_starts):
+                plan.append(
+                    TrialPlan(
+                        index=index,
+                        heuristic=name,
+                        instance=instance_name,
+                        seed=spec.base_seed + i,
+                    )
+                )
+                index += 1
+    return plan
+
+
+def spec_fingerprint(spec: "CampaignSpec") -> str:
+    """Stable hash of the spec's logical content.
+
+    Covers everything that determines the trial stream: campaign name,
+    heuristic names (in order), instance names and shapes (vertex, net
+    and pin counts), start count and the seed stream origin.  It does
+    *not* hash heuristic internals — two runs with the same fingerprint
+    are only comparable if the code is the same, which is what the
+    run-store's recorded package version is for.
+    """
+    instances: Dict[str, List[int]] = {
+        name: [hg.num_vertices, hg.num_nets, hg.num_pins]
+        for name, hg in spec.instances.items()
+    }
+    payload = {
+        "name": spec.name,
+        "heuristics": [
+            getattr(h, "name", type(h).__name__) for h in spec.heuristics
+        ],
+        "instances": instances,
+        "num_starts": spec.num_starts,
+        "base_seed": spec.base_seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()[:16]

@@ -147,3 +147,70 @@ class TestReport:
         campaign_dir = tmp_path / "campaigns" / "cli-test"
         assert (campaign_dir / "records.jsonl").exists()
         assert (campaign_dir / "report.txt").exists()
+
+
+class TestCampaignCLI:
+    def _run(self, hgr_path, tmp_path, *extra):
+        return main(
+            [
+                "campaign", "run", hgr_path,
+                "--starts", "2",
+                "--tolerance", "0.1",
+                "--name", "cli-orch",
+                "--num-shuffles", "20",
+                "--store-dir", str(tmp_path / "campaigns"),
+                *extra,
+            ]
+        )
+
+    def test_run_journals_and_reports(self, hgr_path, tmp_path, capsys):
+        assert self._run(hgr_path, tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "Pairwise significance" in out
+        campaign_dir = tmp_path / "campaigns" / "cli-orch"
+        assert (campaign_dir / "meta.json").exists()
+        assert (campaign_dir / "journal.jsonl").exists()
+        assert (campaign_dir / "report.txt").exists()
+
+    def test_rerun_refuses_without_resume(self, hgr_path, tmp_path, capsys):
+        assert self._run(hgr_path, tmp_path) == 0
+        capsys.readouterr()
+        assert self._run(hgr_path, tmp_path) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_status_and_report(self, hgr_path, tmp_path, capsys):
+        assert self._run(hgr_path, tmp_path) == 0
+        capsys.readouterr()
+        campaign_dir = str(tmp_path / "campaigns" / "cli-orch")
+
+        assert main(["campaign", "status", campaign_dir]) == 0
+        out = capsys.readouterr().out
+        assert "8/8 journaled" in out  # 4 engines x 2 starts
+        assert "best cut:" in out
+
+        report_file = tmp_path / "r.txt"
+        assert main(
+            ["campaign", "report", campaign_dir,
+             "--num-shuffles", "20", "-o", str(report_file)]
+        ) == 0
+        assert "Pairwise significance" in capsys.readouterr().out
+        assert report_file.exists()
+
+    def test_resume_completes_truncated_journal(
+        self, hgr_path, tmp_path, capsys
+    ):
+        from repro.orchestrate import RunStore
+
+        assert self._run(hgr_path, tmp_path) == 0
+        capsys.readouterr()
+        campaign_dir = tmp_path / "campaigns" / "cli-orch"
+        store = RunStore(campaign_dir)
+        lines = store.journal_path.read_text().splitlines(True)
+        store.journal_path.write_text("".join(lines[:3]))  # "crash"
+
+        assert main(
+            ["campaign", "resume", str(campaign_dir),
+             "--num-shuffles", "20"]
+        ) == 0
+        assert "Pairwise significance" in capsys.readouterr().out
+        assert store.status().done == 8

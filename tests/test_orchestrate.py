@@ -1,0 +1,316 @@
+"""Tests for the campaign orchestration subsystem (repro.orchestrate)."""
+
+import time
+
+import pytest
+
+from repro.core import FMPartitioner
+from repro.evaluation import CampaignSpec, run_campaign
+from repro.instances import generate_circuit
+from repro.orchestrate import (
+    ExecutionPolicy,
+    Orchestrator,
+    ProgressPrinter,
+    RunStore,
+    expand_spec,
+    orchestrate_campaign,
+    spec_fingerprint,
+)
+from repro.orchestrate.store import TrialOutcome
+
+
+# Module-level heuristics so they pickle under any mp start method.
+class SleepyPartitioner:
+    """Hangs far longer than any test timeout."""
+
+    name = "sleepy"
+
+    def partition(self, hypergraph, seed=0, **kwargs):
+        time.sleep(60)
+
+
+class BrokenPartitioner:
+    """Always raises — deterministic failure."""
+
+    name = "broken"
+
+    def partition(self, hypergraph, seed=0, **kwargs):
+        raise RuntimeError("boom")
+
+
+class FlakyPartitioner:
+    """Fails once per (seed) then succeeds: a transient failure.
+
+    Cross-process safe: the first attempt leaves a marker file, so the
+    retry (possibly in another worker) sees it and succeeds.
+    """
+
+    name = "flaky"
+
+    def __init__(self, marker_dir, inner):
+        self.marker_dir = str(marker_dir)
+        self.inner = inner
+
+    def partition(self, hypergraph, seed=0, **kwargs):
+        import pathlib
+
+        marker = pathlib.Path(self.marker_dir) / f"seen-{seed}"
+        if not marker.exists():
+            marker.touch()
+            raise RuntimeError("transient glitch")
+        return self.inner.partition(hypergraph, seed=seed, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def hg():
+    return generate_circuit(100, seed=7)
+
+
+@pytest.fixture
+def spec(hg):
+    return CampaignSpec(
+        name="orch",
+        heuristics=[
+            FMPartitioner(tolerance=0.1, name="fm10"),
+            FMPartitioner(tolerance=0.05, name="fm05"),
+        ],
+        instances={"c100": hg},
+        num_starts=3,
+    )
+
+
+def record_key(records):
+    return [(r.heuristic, r.instance, r.seed, r.cut, r.legal) for r in records]
+
+
+class TestPlan:
+    def test_canonical_expansion(self, spec):
+        plan = expand_spec(spec)
+        assert len(plan) == 6
+        assert [p.index for p in plan] == list(range(6))
+        # instances outer, heuristics middle, starts inner — matches
+        # the serial runner's order.
+        assert [p.heuristic for p in plan[:3]] == ["fm10"] * 3
+        assert [p.seed for p in plan[:3]] == [0, 1, 2]
+
+    def test_fingerprint_stable_and_sensitive(self, spec, hg):
+        assert spec_fingerprint(spec) == spec_fingerprint(spec)
+        other = CampaignSpec(
+            name="orch",
+            heuristics=spec.heuristics,
+            instances=spec.instances,
+            num_starts=4,  # different stream
+        )
+        assert spec_fingerprint(spec) != spec_fingerprint(other)
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial(self, spec):
+        serial = run_campaign(spec)
+        parallel = run_campaign(spec, workers=3)
+        assert record_key(serial.records) == record_key(parallel.records)
+
+    def test_matches_legacy_serial_runner(self, spec):
+        from repro.evaluation import run_trials
+
+        legacy = run_trials(
+            spec.heuristics, spec.instances, spec.num_starts,
+            base_seed=spec.base_seed,
+        )
+        orchestrated = run_campaign(spec, workers=2).records
+        assert record_key(legacy) == record_key(orchestrated)
+
+
+class TestStore:
+    def test_journal_roundtrip(self, tmp_path, spec):
+        result = orchestrate_campaign(spec, store_dir=tmp_path, workers=1)
+        store = RunStore(tmp_path / "orch")
+        assert store.records() == result.records
+        status = store.status()
+        assert (status.total, status.done, status.errors) == (6, 6, 0)
+        meta = store.load_meta()
+        assert meta["spec_hash"] == spec_fingerprint(spec)
+        assert meta["total_trials"] == 6
+        assert "machine" in meta
+
+    def test_truncated_last_line_is_skipped(self, tmp_path, spec):
+        orchestrate_campaign(spec, store_dir=tmp_path, workers=1)
+        store = RunStore(tmp_path / "orch")
+        text = store.journal_path.read_text()
+        store.journal_path.write_text(text[: len(text) - 25])  # crash mid-line
+        outcomes = store.outcomes()
+        assert len(outcomes) == 5  # the mangled trial is simply gone
+        # and resume reruns exactly that one trial
+        executed = []
+        result = orchestrate_campaign(
+            spec, store_dir=tmp_path, resume=True, progress=executed.append
+        )
+        assert len(executed) == 1
+        assert len(result.records) == 6
+
+    def test_duplicate_entries_last_wins(self, tmp_path):
+        store = RunStore(tmp_path / "dup")
+        store.initialize({"total_trials": 1})
+        for cut in (5.0, 7.0):
+            store.append(
+                TrialOutcome(
+                    trial=0, status="ok", heuristic="h", instance="i",
+                    seed=0, cut=cut, runtime_seconds=0.1, legal=True,
+                )
+            )
+        assert [o.cut for o in store.outcomes()] == [7.0]
+
+
+class TestResume:
+    def test_resume_skips_journaled_trials(self, tmp_path, spec):
+        full = orchestrate_campaign(spec, store_dir=tmp_path, workers=1)
+        store = RunStore(tmp_path / "orch")
+        lines = store.journal_path.read_text().splitlines(True)
+        store.journal_path.write_text("".join(lines[:4]))  # kill midway
+        executed = []
+        resumed = orchestrate_campaign(
+            spec,
+            store_dir=tmp_path,
+            workers=2,
+            resume=True,
+            progress=executed.append,
+        )
+        assert len(executed) == 2  # only the missing trials ran
+        assert record_key(resumed.records) == record_key(full.records)
+
+    def test_resume_of_complete_store_runs_nothing(self, tmp_path, spec):
+        orchestrate_campaign(spec, store_dir=tmp_path)
+        executed = []
+        orchestrate_campaign(
+            spec, store_dir=tmp_path, resume=True, progress=executed.append
+        )
+        assert executed == []
+
+    def test_rerun_without_resume_refuses(self, tmp_path, spec):
+        orchestrate_campaign(spec, store_dir=tmp_path)
+        with pytest.raises(ValueError, match="resume"):
+            orchestrate_campaign(spec, store_dir=tmp_path)
+
+    def test_spec_mismatch_refuses(self, tmp_path, spec, hg):
+        orchestrate_campaign(spec, store_dir=tmp_path)
+        changed = CampaignSpec(
+            name="orch",
+            heuristics=spec.heuristics,
+            instances=spec.instances,
+            num_starts=5,
+        )
+        with pytest.raises(ValueError, match="spec_hash"):
+            orchestrate_campaign(changed, store_dir=tmp_path, resume=True)
+
+
+class TestRobustness:
+    def test_failures_become_error_records(self, tmp_path, hg):
+        spec = CampaignSpec(
+            name="rob",
+            heuristics=[
+                FMPartitioner(tolerance=0.1, name="good"),
+                BrokenPartitioner(),
+            ],
+            instances={"c100": hg},
+            num_starts=2,
+        )
+        result = orchestrate_campaign(
+            spec, store_dir=tmp_path, workers=1, max_retries=1
+        )
+        store = RunStore(tmp_path / "rob")
+        assert {r.heuristic for r in result.records} == {"good"}
+        errors = store.errors()
+        assert len(errors) == 2
+        for e in errors:
+            assert e.attempts == 2  # first attempt + one retry
+            assert "boom" in e.error
+        assert store.status().done == 4  # campaign completed regardless
+
+    def test_transient_failure_heals_via_retry(self, tmp_path, hg):
+        spec = CampaignSpec(
+            name="flaky",
+            heuristics=[
+                FlakyPartitioner(
+                    tmp_path, FMPartitioner(tolerance=0.1, name="inner")
+                )
+            ],
+            instances={"c100": hg},
+            num_starts=2,
+        )
+        result = orchestrate_campaign(spec, max_retries=1)
+        assert len(result.records) == 2
+        assert all(r.legal for r in result.records)
+
+    def test_timeout_kills_hung_trial(self, tmp_path, hg):
+        spec = CampaignSpec(
+            name="hang",
+            heuristics=[
+                FMPartitioner(tolerance=0.1, name="fast"),
+                SleepyPartitioner(),
+            ],
+            instances={"c100": hg},
+            num_starts=1,
+        )
+        t0 = time.monotonic()
+        orchestrate_campaign(
+            spec, store_dir=tmp_path, workers=2, timeout_seconds=0.75
+        )
+        assert time.monotonic() - t0 < 20
+        store = RunStore(tmp_path / "hang")
+        errors = store.errors()
+        assert len(errors) == 1
+        assert errors[0].heuristic == "sleepy"
+        assert "timeout" in errors[0].error
+        assert [r.heuristic for r in store.records()] == ["fast"]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(workers=0)
+        with pytest.raises(ValueError):
+            ExecutionPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            ExecutionPolicy(timeout_seconds=0)
+
+
+class TestObservability:
+    def test_progress_events(self, spec):
+        events = []
+        run_campaign(spec, workers=2, progress=events.append)
+        assert len(events) == 6
+        assert [e.done for e in events] == list(range(1, 7))
+        final = events[-1]
+        assert final.total == 6 and final.ok == 6 and final.errors == 0
+        assert final.best_by_instance["c100"] == min(
+            e.last.cut for e in events
+        )
+        assert all(e.num_workers == 2 for e in events)
+        assert final.eta_seconds is None  # nothing left
+
+    def test_progress_printer_renders(self, spec, capsys):
+        import io
+
+        buf = io.StringIO()
+        run_campaign(spec, progress=ProgressPrinter(stream=buf, interval=0.0))
+        out = buf.getvalue()
+        assert "[   6/6]" in out
+        assert "best: c100=" in out
+
+
+@pytest.mark.slow
+class TestScale:
+    """Bigger campaign through the pool — deselected from tier 1."""
+
+    def test_many_trials_parallel(self, tmp_path, hg):
+        spec = CampaignSpec(
+            name="scale",
+            heuristics=[
+                FMPartitioner(tolerance=0.1, name=f"fm{i}")
+                for i in range(4)
+            ],
+            instances={"c100": hg, "c100b": generate_circuit(100, seed=8)},
+            num_starts=10,
+        )
+        serial = run_campaign(spec)
+        parallel = orchestrate_campaign(spec, store_dir=tmp_path, workers=4)
+        assert record_key(serial.records) == record_key(parallel.records)
+        assert RunStore(tmp_path / "scale").status().done == 80

@@ -105,3 +105,39 @@ class TestConfigurationEvaluation:
             lambda: ml, hg, "a", start_counts=[1, 4], repetitions=3
         )
         assert out[4]["avg_best_cut"] <= out[1]["avg_best_cut"] * 1.1
+
+    def test_configurations_independently_reproducible(self, hg):
+        """Each configuration draws from its own seed block, so its
+        results do not depend on which other configurations ran."""
+        make = lambda: FMPartitioner(tolerance=0.1)
+        alone = run_configuration_evaluation(
+            make, hg, "a", start_counts=[2], repetitions=2
+        )
+        mixed = run_configuration_evaluation(
+            make, hg, "a", start_counts=[1, 2, 4], repetitions=2
+        )
+        assert alone[2]["avg_best_cut"] == mixed[2]["avg_best_cut"]
+
+    def test_configuration_seed_blocks_disjoint(self):
+        from repro.evaluation import configuration_seed
+
+        seeds_s2 = {
+            configuration_seed(0, 2, rep, i)
+            for rep in range(3) for i in range(3)  # 2 starts + vcycle
+        }
+        seeds_s4 = {
+            configuration_seed(0, 4, rep, i)
+            for rep in range(3) for i in range(5)
+        }
+        assert not seeds_s2 & seeds_s4
+
+
+class TestMultistartEmptyGuards:
+    def test_empty_starts_raise_clear_error(self):
+        from repro.core.multistart import MultistartResult
+
+        empty = MultistartResult(heuristic="h", instance="i")
+        for prop in ("min_cut", "avg_cut", "avg_runtime"):
+            with pytest.raises(ValueError, match="no starts recorded"):
+                getattr(empty, prop)
+        assert empty.total_runtime == 0.0  # a plain sum stays defined

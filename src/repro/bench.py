@@ -1,0 +1,225 @@
+"""Microbenchmark harness for the FM kernel (``repro bench fm``).
+
+Times the production :class:`~repro.core.engine.FMEngine` against the
+frozen seed reference (:class:`~repro.core._seed_engine.SeedFMEngine`)
+on identical inputs, **verifies move-for-move equivalence on the same
+run**, and emits a machine-readable ``BENCH_fm_kernel.json`` so CI (or
+the next PR) can gate on kernel regressions instead of eyeballing
+timings.
+
+Methodology
+-----------
+* Both engines refine copies of the *same* initial solution with fresh,
+  identically-seeded RNGs, so the work is identical by construction —
+  the equivalence check (final cut, final assignment, per-pass move
+  logs and kept prefixes) turns any behavioral divergence into a hard
+  failure rather than a silently-unfair timing.
+* Timed runs use ``record_moves=False`` (production configuration);
+  one extra recorded run per engine performs the move-log comparison.
+* The reported per-config time is the **minimum** over ``repeats``
+  (the standard microbenchmark estimator: minimum ≈ noise-free cost).
+* The headline ``speedup`` is the geometric mean of the per-config
+  speedups (flat and CLIP weighted equally).
+
+The JSON schema is intentionally flat and stable::
+
+    {
+      "benchmark": "fm_kernel",
+      "instance": {...}, "repeats": N, "seed": S, "tolerance": T,
+      "configs": {"flat": {"seed_seconds": [...], "kernel_seconds": [...],
+                           "speedup": ..., "equivalent": true,
+                           "final_cut": ..., "perf": {...}}, ...},
+      "speedup": <geomean>, "equivalent": <all configs>
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core._seed_engine import SeedFMEngine
+from repro.core.balance import BalanceConstraint
+from repro.core.config import FMConfig
+from repro.core.engine import FMEngine, FMResult
+from repro.core.partition import Partition2
+from repro.instances.suite import suite_instance
+
+#: Named kernel configurations the bench exercises.  Flat LIFO FM and
+#: CLIP are the two production hot paths; both run with the corking
+#: guard on (the strong-implementation default).
+BENCH_CONFIGS: Dict[str, FMConfig] = {
+    "flat": FMConfig(),
+    "clip": FMConfig(clip=True),
+}
+
+
+def _equivalent(a: FMResult, b: FMResult, pa: Partition2, pb: Partition2) -> bool:
+    """Move-for-move equivalence of two recorded refinement runs."""
+    if a.final_cut != b.final_cut or pa.assignment != pb.assignment:
+        return False
+    if len(a.pass_stats) != len(b.pass_stats):
+        return False
+    for sa, sb in zip(a.pass_stats, b.pass_stats):
+        if (
+            sa.move_log != sb.move_log
+            or sa.moves_kept != sb.moves_kept
+            or sa.cut_before != sb.cut_before
+            or sa.cut_after != sb.cut_after
+            or sa.stuck != sb.stuck
+        ):
+            return False
+    return True
+
+
+def bench_fm_kernel(
+    instance: str = "ibm01s",
+    scale: int = 32,
+    repeats: int = 3,
+    seed: int = 0,
+    tolerance: float = 0.1,
+    configs: Optional[Sequence[str]] = None,
+    max_passes: int = 4,
+) -> Dict[str, object]:
+    """Run the kernel-vs-seed microbenchmark and return the result dict.
+
+    Parameters
+    ----------
+    instance / scale:
+        Synthetic suite instance (:func:`repro.instances.suite_instance`)
+        and its scale divisor.  The default ``ibm01s`` at scale 32 is
+        the tier-1-friendly size; scale 16 is the "ibm01s-scale"
+        acceptance target.
+    repeats:
+        Timed runs per engine per config (minimum is reported).
+    seed:
+        Seed for the initial random balanced solution.
+    tolerance:
+        Balance tolerance (paper convention; 0.1 = the 45/55 window).
+    configs:
+        Subset of :data:`BENCH_CONFIGS` names; default: all.
+    max_passes:
+        Pass cap per refinement (both engines; keeps runs comparable
+        even if convergence needs many passes).
+    """
+    names = list(configs) if configs else list(BENCH_CONFIGS)
+    for name in names:
+        if name not in BENCH_CONFIGS:
+            raise ValueError(
+                f"unknown bench config {name!r}; valid: "
+                f"{', '.join(BENCH_CONFIGS)}"
+            )
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+
+    hg = suite_instance(instance, scale=scale)
+    bal = BalanceConstraint(hg.total_vertex_weight, tolerance)
+    base = Partition2.random_balanced(hg, bal, random.Random(seed))
+
+    out_configs: Dict[str, Dict[str, object]] = {}
+    speedups: List[float] = []
+    all_equivalent = True
+    for name in names:
+        cfg = BENCH_CONFIGS[name].with_options(max_passes=max_passes)
+
+        # Equivalence run (recorded; not timed).
+        p_seed = base.copy()
+        p_new = base.copy()
+        r_seed = SeedFMEngine(
+            bal, cfg, random.Random(1), record_moves=True
+        ).refine(p_seed)
+        r_new = FMEngine(
+            bal, cfg, random.Random(1), record_moves=True
+        ).refine(p_new)
+        equivalent = _equivalent(r_seed, r_new, p_seed, p_new)
+        all_equivalent = all_equivalent and equivalent
+
+        # Timed runs (production configuration: no move recording).
+        seed_secs: List[float] = []
+        kern_secs: List[float] = []
+        perf_dict: Dict[str, object] = {}
+        for _ in range(repeats):
+            p = base.copy()
+            t0 = time.perf_counter()
+            SeedFMEngine(bal, cfg, random.Random(1)).refine(p)
+            seed_secs.append(time.perf_counter() - t0)
+
+            p = base.copy()
+            eng = FMEngine(bal, cfg, random.Random(1))
+            t0 = time.perf_counter()
+            res = eng.refine(p)
+            kern_secs.append(time.perf_counter() - t0)
+            perf_dict = res.perf.as_dict() if res.perf else {}
+
+        best_seed = min(seed_secs)
+        best_kern = min(kern_secs)
+        speedup = best_seed / best_kern if best_kern > 0 else float("inf")
+        speedups.append(speedup)
+        out_configs[name] = {
+            "seed_seconds": seed_secs,
+            "kernel_seconds": kern_secs,
+            "best_seed_seconds": best_seed,
+            "best_kernel_seconds": best_kern,
+            "speedup": speedup,
+            "equivalent": equivalent,
+            "final_cut": r_new.final_cut,
+            "passes": r_new.passes,
+            "total_moves": r_new.total_moves,
+            "perf": perf_dict,
+        }
+
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    return {
+        "benchmark": "fm_kernel",
+        "instance": {
+            "name": instance,
+            "scale": scale,
+            "num_vertices": hg.num_vertices,
+            "num_nets": hg.num_nets,
+            "num_pins": hg.num_pins,
+        },
+        "repeats": repeats,
+        "seed": seed,
+        "tolerance": tolerance,
+        "max_passes": max_passes,
+        "configs": out_configs,
+        "speedup": geomean,
+        "equivalent": all_equivalent,
+    }
+
+
+def render_fm_bench(result: Dict[str, object]) -> str:
+    """Human-readable table for one :func:`bench_fm_kernel` result."""
+    inst = result["instance"]
+    lines = [
+        f"FM kernel microbenchmark — {inst['name']} (scale {inst['scale']}: "
+        f"{inst['num_vertices']} cells, {inst['num_nets']} nets, "
+        f"{inst['num_pins']} pins), {result['repeats']} repeat(s), "
+        f"tolerance {result['tolerance']:g}",
+        "",
+        f"{'config':8s} {'seed (s)':>10s} {'kernel (s)':>11s} "
+        f"{'speedup':>8s} {'cut':>8s} {'moves':>7s}  equivalent",
+    ]
+    for name, c in result["configs"].items():
+        lines.append(
+            f"{name:8s} {c['best_seed_seconds']:10.4f} "
+            f"{c['best_kernel_seconds']:11.4f} "
+            f"{c['speedup']:7.2f}x {c['final_cut']:8g} "
+            f"{c['total_moves']:7d}  {'yes' if c['equivalent'] else 'NO'}"
+        )
+    lines.append("")
+    lines.append(
+        f"geomean speedup: {result['speedup']:.2f}x — move-for-move "
+        f"equivalent: {'yes' if result['equivalent'] else 'NO'}"
+    )
+    return "\n".join(lines)
+
+
+def write_fm_bench_json(result: Dict[str, object], path: str) -> None:
+    """Persist a bench result as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")

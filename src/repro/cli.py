@@ -179,6 +179,43 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+def cmd_bench_fm(args: argparse.Namespace) -> int:
+    """FM kernel microbenchmark vs the frozen seed engine.
+
+    Prints a table, writes machine-readable JSON, and (with
+    ``--min-speedup``) acts as a regression gate: exit code 1 when the
+    kernel is slower than required or diverges move-for-move.
+    """
+    from repro.bench import bench_fm_kernel, render_fm_bench, write_fm_bench_json
+
+    configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    result = bench_fm_kernel(
+        instance=args.instance,
+        scale=args.scale,
+        repeats=args.repeats,
+        seed=args.seed,
+        tolerance=args.tolerance,
+        configs=configs,
+        max_passes=args.max_passes,
+    )
+    print(render_fm_bench(result))
+    write_fm_bench_json(result, args.output)
+    print(f"\nwrote {args.output}")
+    if not result["equivalent"]:
+        print("error: kernel is NOT move-for-move equivalent to the seed",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup and result["speedup"] < args.min_speedup:
+        print(
+            f"error: speedup {result['speedup']:.2f}x below required "
+            f"{args.min_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
 def cmd_campaign_run(args: argparse.Namespace) -> int:
     """Orchestrated campaign: parallel workers + crash-safe journal."""
     from pathlib import Path
@@ -358,6 +395,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--num-shuffles", type=int, default=100)
     p.add_argument("--output-dir", default="campaigns")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "bench",
+        help="microbenchmarks with machine-readable regression output",
+    )
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bsub.add_parser(
+        "fm",
+        help="FM kernel vs frozen seed engine (writes BENCH_fm_kernel.json)",
+    )
+    b.add_argument("--instance", default="ibm01s",
+                   help="synthetic suite instance (default ibm01s)")
+    b.add_argument("--scale", type=int, default=16,
+                   help="suite scale divisor (default 16 = acceptance size)")
+    b.add_argument("--repeats", type=int, default=3,
+                   help="timed runs per engine per config (min is reported)")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--tolerance", type=float, default=0.1)
+    b.add_argument("--configs", default="flat,clip",
+                   help="comma-separated kernel configs (flat,clip)")
+    b.add_argument("--max-passes", type=int, default=4)
+    b.add_argument("--min-speedup", type=float, default=0.0,
+                   help="fail (exit 1) below this geomean speedup")
+    b.add_argument("-o", "--output", default="BENCH_fm_kernel.json")
+    b.set_defaults(func=cmd_bench_fm)
 
     p = sub.add_parser(
         "campaign",

@@ -9,6 +9,8 @@ The package exposes:
   multilevel partitioner);
 * :class:`Partition2` / :class:`BalanceConstraint` — incremental
   partition state and the paper's percentage balance semantics;
+* :class:`PerfCounters` — kernel event counters attached to every
+  :class:`FMResult` (see ``repro bench fm``);
 * :func:`run_multistart` — independent-start experiment driver.
 """
 
@@ -38,6 +40,7 @@ from repro.core.objectives import (
 )
 from repro.core.partition import Partition2
 from repro.core.partitioner import FMPartitioner, PartitionResult
+from repro.core.perf import PerfCounters
 from repro.core.pruning import PrunedMultistart, PrunedRunStats
 
 __all__ = [
@@ -62,6 +65,7 @@ __all__ = [
     "PartitionK",
     "PartitionResult",
     "PassStats",
+    "PerfCounters",
     "PrunedMultistart",
     "PrunedRunStats",
     "RecursiveBisection",

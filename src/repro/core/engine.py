@@ -20,6 +20,34 @@ proceeds on the cumulative keys.  Without the corking guard this engine
 reproduces the corking pathology of Section 2.3 (a wide cell at the head
 of the zero bucket blocks the pass); the engine counts such stuck passes
 in :attr:`FMResult.stuck_passes`.
+
+**Kernel architecture.**  The pass body is an allocation-free, flat-array
+kernel in the style of modern FM codes (n-level KaHyPar, Mt-KaHyPar):
+per-hypergraph invariants (integer net weights, vertex weights, gain
+bound), the gain-bucket pair, and the per-pass logs (moves, cuts,
+balance margins) live in a preallocated :class:`_PassScratch` reused
+across passes and ``refine()`` calls.  Per move, the kernel performs no
+Python-level allocation: selection compares bucket heads with inlined
+locals, the neighbour delta-gain update and the partition ledger update
+are fused into a single sweep over the moved vertex's nets (using
+pre-move pin counts, exactly as the classic gain-update rule requires),
+and the balance margin is computed with scalar comparisons instead of
+generator expressions.  The move-for-move behavior of the seed engine
+(:class:`repro.core._seed_engine.SeedFMEngine`) is preserved exactly —
+the equivalence suite asserts identical move sequences, kept prefixes
+and final cuts for every configuration combination.
+
+Because :class:`~repro.core.partition.Partition2` maintains an exact
+integer cut ledger for integral net weights, the logged cut values here
+are exact integers, which makes the best-solution-of-pass tie detection
+in :meth:`FMEngine._best_prefix` exact (the seed engine compared
+float-accumulated cuts for equality — correct only because, and as long
+as, all intermediate values stayed exactly representable).
+
+Scratch is cached per ``(hypergraph identity, weight fingerprint,
+insertion order)``; mutating a hypergraph's weights between refines
+therefore rebuilds the invariants instead of silently reusing stale
+gains (see :meth:`repro.hypergraph.hypergraph.Hypergraph.weight_fingerprint`).
 """
 
 from __future__ import annotations
@@ -27,12 +55,17 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.balance import BalanceConstraint
 from repro.core.config import BestChoice, FMConfig, TieBias, UpdatePolicy
-from repro.core.gain_bucket import GainBuckets
+from repro.core.gain_bucket import (
+    GainBuckets,
+    IllegalHeadPolicy,
+    InsertionOrder,
+)
 from repro.core.partition import Partition2
+from repro.core.perf import PerfCounters
 
 
 @dataclass
@@ -44,6 +77,11 @@ class PassStats:
     cut_before: float
     cut_after: float
     stuck: bool  #: pass made zero moves while movable vertices remained
+    seconds: float = 0.0  #: wall-clock time of this pass
+    #: Exact sequence of vertices moved during the pass (before
+    #: rollback); populated only when the engine was constructed with
+    #: ``record_moves=True``.  The kept prefix is ``move_log[:moves_kept]``.
+    move_log: Optional[List[int]] = None
 
 
 @dataclass
@@ -57,11 +95,75 @@ class FMResult:
     stuck_passes: int
     runtime_seconds: float
     pass_stats: List[PassStats] = field(default_factory=list)
+    #: Kernel event counters and per-pass timings for this run.
+    perf: Optional[PerfCounters] = None
 
     @property
     def improvement(self) -> float:
         """Total cut reduction achieved."""
         return self.initial_cut - self.final_cut
+
+
+class _PassScratch:
+    """Preallocated per-hypergraph kernel state (reused across passes).
+
+    Everything whose size depends only on the hypergraph lives here:
+    integer net weights for gain arithmetic, the partition-ledger net
+    weights (identical in the integral regime; the float originals
+    otherwise), vertex weights, the gain bound, the two gain-bucket
+    structures, and flat int/float arrays backing the per-pass logs
+    (a vertex moves at most once per pass, so length ``n`` suffices).
+    """
+
+    __slots__ = (
+        "net_w",
+        "ledger_w",
+        "vwt",
+        "max_abs",
+        "buckets",
+        "gain",
+        "eligible",
+        "move_log",
+        "cut_log",
+        "dist_log",
+    )
+
+    def __init__(self, partition: Partition2, order, rng) -> None:
+        hg = partition.hypergraph
+        n = hg.num_vertices
+        _, _, vtx_ptr, vtx_nets = hg.raw_csr
+        net_w = []
+        for e in hg.nets():
+            w = hg.net_weight(e)
+            iw = int(round(w))
+            if abs(w - iw) > 1e-9:
+                raise ValueError(
+                    "FM gain buckets require integral net weights; "
+                    f"net {e} has weight {w}"
+                )
+            net_w.append(iw)
+        self.net_w = net_w
+        # The partition's own ledger weights (exact ints when integral);
+        # cut accounting must mirror Partition2.move exactly.
+        self.ledger_w = partition._net_weights
+        self.vwt = [hg.vertex_weight(v) for v in range(n)]
+        # Gain bound: twice the max weighted degree covers both actual
+        # gains (plain FM) and cumulative delta gains (CLIP).
+        max_wdeg = 0
+        for v in range(n):
+            d = sum(net_w[vtx_nets[i]] for i in range(vtx_ptr[v], vtx_ptr[v + 1]))
+            if d > max_wdeg:
+                max_wdeg = d
+        self.max_abs = 2 * max_wdeg + 1
+        self.buckets = (
+            GainBuckets(n, self.max_abs, order, rng),
+            GainBuckets(n, self.max_abs, order, rng),
+        )
+        self.gain = [0] * n
+        self.eligible = [0] * n
+        self.move_log = [0] * n
+        self.cut_log = [0.0] * n
+        self.dist_log = [0.0] * n
 
 
 class FMEngine:
@@ -76,6 +178,11 @@ class FMEngine:
     rng:
         Random source (used by RANDOM insertion order only; the engine is
         otherwise deterministic given the initial solution).
+    record_moves:
+        When True, each :class:`PassStats` carries the full move
+        sequence of its pass (``move_log``).  Used by the equivalence
+        suite and the kernel microbenchmark; off by default because the
+        per-pass list copy is pure overhead in production runs.
     """
 
     def __init__(
@@ -83,14 +190,19 @@ class FMEngine:
         balance: BalanceConstraint,
         config: Optional[FMConfig] = None,
         rng: Optional[random.Random] = None,
+        record_moves: bool = False,
     ) -> None:
         self.balance = balance
         self.config = config if config is not None else FMConfig()
         self.rng = rng if rng is not None else random.Random(0)
-        # Per-hypergraph invariants (integer net weights, vertex
-        # weights, gain bound) cached across passes and refine() calls.
-        self._cached_invariants = None
-        self._cached_invariants_for = None
+        self.record_moves = record_moves
+        # Scratch cache: per-hypergraph invariants plus preallocated
+        # kernel arrays, keyed on identity AND a weight fingerprint so
+        # out-of-band weight mutation cannot leave stale gains behind.
+        self._scratch: Optional[_PassScratch] = None
+        self._scratch_for = None
+        self._scratch_fingerprint = None
+        self._scratch_order = None
 
     # ------------------------------------------------------------------
     def refine(self, partition: Partition2) -> FMResult:
@@ -99,18 +211,25 @@ class FMEngine:
         """
         cfg = self.config
         start = time.perf_counter()
+        self._ensure_scratch(partition)
+        perf = PerfCounters()
         initial_cut = partition.cut
         stats: List[PassStats] = []
         total_moves = 0
         stuck = 0
         for _ in range(cfg.max_passes):
-            ps = self._run_pass(partition)
+            t0 = time.perf_counter()
+            ps = self._run_pass(partition, perf)
+            ps.seconds = time.perf_counter() - t0
+            perf.passes += 1
+            perf.pass_seconds.append(ps.seconds)
             stats.append(ps)
             total_moves += ps.moves_kept
             if ps.stuck:
                 stuck += 1
             if ps.cut_before - ps.cut_after <= cfg.min_pass_improvement:
                 break
+        perf.total_seconds = time.perf_counter() - start
         return FMResult(
             initial_cut=initial_cut,
             final_cut=partition.cut,
@@ -119,150 +238,523 @@ class FMEngine:
             stuck_passes=stuck,
             runtime_seconds=time.perf_counter() - start,
             pass_stats=stats,
+            perf=perf,
         )
 
     # ------------------------------------------------------------------
-    def _integer_net_weights(self, partition: Partition2) -> List[int]:
-        weights = []
-        for e in partition.hypergraph.nets():
-            w = partition.hypergraph.net_weight(e)
-            iw = int(round(w))
-            if abs(w - iw) > 1e-9:
-                raise ValueError(
-                    "FM gain buckets require integral net weights; "
-                    f"net {e} has weight {w}"
-                )
-            weights.append(iw)
-        return weights
-
-    def _pass_invariants(self, partition: Partition2):
-        """Per-hypergraph data reused across all passes of one refine."""
+    def _ensure_scratch(self, partition: Partition2) -> None:
+        """(Re)build the kernel scratch unless the cached one is valid."""
         hg = partition.hypergraph
-        n = hg.num_vertices
-        _, _, vtx_ptr, vtx_nets = hg.raw_csr
-        net_w = self._integer_net_weights(partition)
-        vwt = [hg.vertex_weight(v) for v in range(n)]
-        # Gain bound: twice the max weighted degree covers both actual
-        # gains (plain FM) and cumulative delta gains (CLIP).
-        max_wdeg = 0
-        for v in range(n):
-            d = sum(net_w[vtx_nets[i]] for i in range(vtx_ptr[v], vtx_ptr[v + 1]))
-            if d > max_wdeg:
-                max_wdeg = d
-        return net_w, vwt, 2 * max_wdeg + 1
+        fp = hg.weight_fingerprint()
+        order = self.config.insertion_order
+        if (
+            self._scratch is not None
+            and self._scratch_for is hg
+            and self._scratch_fingerprint == fp
+            and self._scratch_order is order
+        ):
+            return
+        self._scratch = _PassScratch(partition, order, self.rng)
+        self._scratch_for = hg
+        self._scratch_fingerprint = fp
+        self._scratch_order = order
 
-    def _run_pass(self, partition: Partition2) -> PassStats:
+    # ------------------------------------------------------------------
+    def _run_pass(self, partition: Partition2, perf: PerfCounters) -> PassStats:
         cfg = self.config
         bal = self.balance
         hg = partition.hypergraph
         n = hg.num_vertices
         net_ptr, net_pins, vtx_ptr, vtx_nets = hg.raw_csr
-        if self._cached_invariants_for is not partition.hypergraph:
-            self._cached_invariants = self._pass_invariants(partition)
-            self._cached_invariants_for = partition.hypergraph
-        net_w, vwt, max_abs = self._cached_invariants
+        sc = self._scratch
+        net_w = sc.net_w
+        ledger_w = sc.ledger_w
+        vwt = sc.vwt
         assign = partition.assignment
-        pins = partition.pins_in_part
+        fixed = partition.fixed
+        pins0, pins1 = partition.pins_in_part
+        pw = partition.part_weights
 
-        buckets = (
-            GainBuckets(n, max_abs, cfg.insertion_order, self.rng),
-            GainBuckets(n, max_abs, cfg.insertion_order, self.rng),
-        )
+        # The kernel owns the bucket pair for the whole pass: all
+        # insert/remove/select operations below run inline on the raw
+        # intrusive arrays, and the max-bucket index of each side lives
+        # in a local (``maxi0``/``maxi1``).  ``clear()`` restores the
+        # object-level invariants at the start of every pass.
+        b0, b1 = sc.buckets
+        b0.clear()
+        b1.clear()
+        heads0, tails0, prev0, next0, key0, present0 = b0.raw_state()
+        heads1, tails1, prev1, next1, key1, present1 = b1.raw_state()
+        offset = sc.max_abs
+        span = 2 * offset + 1
+        maxi0 = -1
+        maxi1 = -1
 
+        order = cfg.insertion_order
+        rnd_order = order is InsertionOrder.RANDOM
+        head_order = order is InsertionOrder.LIFO
+        rng_random = self.rng.random
+
+        # ----- seed gains and populate the buckets --------------------
         guard = cfg.guard_oversized
         slack = bal.slack
-        eligible: List[int] = []
+        elig = sc.eligible
+        gain_arr = sc.gain
+        ecount = 0
         for v in range(n):
-            if partition.fixed[v]:
+            if fixed[v]:
                 continue
             if guard and vwt[v] > slack:
                 continue  # corking guard: this cell can never legally move
-            eligible.append(v)
+            if assign[v] == 0:
+                ps_, pd_ = pins0, pins1
+            else:
+                ps_, pd_ = pins1, pins0
+            g = 0
+            for i in range(vtx_ptr[v], vtx_ptr[v + 1]):
+                e = vtx_nets[i]
+                if ps_[e] == 1:
+                    g += ledger_w[e]
+                if pd_[e] == 0:
+                    g -= ledger_w[e]
+            gain_arr[v] = int(g)
+            elig[ecount] = v
+            ecount += 1
+        perf.vertices_seeded += ecount
 
-        gains = {v: int(partition.gain(v)) for v in eligible}
         if cfg.clip:
             # All moves enter the zero bucket; CLIP orders them so the
             # highest *initial* gain sits at the head.  Pushing in
-            # ascending-gain order with head insertion achieves that.
-            for v in sorted(eligible, key=lambda u: gains[u]):
-                buckets[assign[v]].insert_at_head(v, 0)
+            # ascending-gain order with head insertion achieves that
+            # (head insertion is CLIP's definition: it bypasses the
+            # insertion-order policy and consumes no randomness).
+            idx = offset  # key 0
+            for v in sorted(elig[:ecount], key=gain_arr.__getitem__):
+                if assign[v] == 0:
+                    old = heads0[idx]
+                    if old == -1:
+                        heads0[idx] = v
+                        tails0[idx] = v
+                        prev0[v] = -1
+                        next0[v] = -1
+                    else:
+                        next0[v] = old
+                        prev0[v] = -1
+                        prev0[old] = v
+                        heads0[idx] = v
+                    key0[v] = 0
+                    present0[v] = True
+                    maxi0 = idx
+                else:
+                    old = heads1[idx]
+                    if old == -1:
+                        heads1[idx] = v
+                        tails1[idx] = v
+                        prev1[v] = -1
+                        next1[v] = -1
+                    else:
+                        next1[v] = old
+                        prev1[v] = -1
+                        prev1[old] = v
+                        heads1[idx] = v
+                    key1[v] = 0
+                    present1[v] = True
+                    maxi1 = idx
         else:
-            for v in eligible:
-                buckets[assign[v]].insert(v, gains[v])
+            for i in range(ecount):
+                v = elig[i]
+                k = gain_arr[v]
+                idx = k + offset
+                if idx < 0 or idx >= span:
+                    raise ValueError(
+                        f"key {k} outside [-{offset}, {offset}]"
+                    )
+                # The insertion-order coin flip is drawn before the
+                # empty-bucket branch, exactly as GainBuckets.insert
+                # does, so the RANDOM rng stream stays identical.
+                if rnd_order:
+                    at_head = rng_random() < 0.5
+                else:
+                    at_head = head_order
+                if assign[v] == 0:
+                    old = heads0[idx]
+                    if old == -1:
+                        heads0[idx] = v
+                        tails0[idx] = v
+                        prev0[v] = -1
+                        next0[v] = -1
+                    elif at_head:
+                        next0[v] = old
+                        prev0[v] = -1
+                        prev0[old] = v
+                        heads0[idx] = v
+                    else:
+                        tl = tails0[idx]
+                        prev0[v] = tl
+                        next0[v] = -1
+                        next0[tl] = v
+                        tails0[idx] = v
+                    key0[v] = k
+                    present0[v] = True
+                    if idx > maxi0:
+                        maxi0 = idx
+                else:
+                    old = heads1[idx]
+                    if old == -1:
+                        heads1[idx] = v
+                        tails1[idx] = v
+                        prev1[v] = -1
+                        next1[v] = -1
+                    elif at_head:
+                        next1[v] = old
+                        prev1[v] = -1
+                        prev1[old] = v
+                        heads1[idx] = v
+                    else:
+                        tl = tails1[idx]
+                        prev1[v] = tl
+                        next1[v] = -1
+                        next1[tl] = v
+                        tails1[idx] = v
+                    key1[v] = k
+                    present1[v] = True
+                    if idx > maxi1:
+                        maxi1 = idx
 
-        movable = len(eligible)
+        movable = ecount
         update_all = cfg.update_policy is UpdatePolicy.ALL
-        cut_before = partition.cut
-        initial_legal = bal.is_legal(partition.part_weights)
-        initial_distance = bal.distance_from_bounds(partition.part_weights)
+        cut = partition.cut
+        cut_before = cut
+        initial_legal = bal.is_legal(pw)
+        initial_distance = bal.distance_from_bounds(pw)
+        lo = bal.lower_bound
+        hi = bal.upper_bound
 
-        move_log: List[int] = []
-        cut_log: List[float] = []
-        dist_log: List[float] = []
-        last_src: Optional[int] = None
+        move_log = sc.move_log
+        cut_log = sc.cut_log
+        dist_log = sc.dist_log
+        mcount = 0
+        last_src = -1  # no move yet
 
-        def legal_from(side: int):
-            dest_weight = partition.part_weights[1 - side]
-            hi = bal.upper_bound
+        illegal_head = cfg.illegal_head
+        scan_bucket = illegal_head is IllegalHeadPolicy.SCAN_BUCKET
+        skip_part = illegal_head is IllegalHeadPolicy.SKIP_PARTITION
+        bias = cfg.tie_bias
+        bias_part0 = bias is TieBias.PART0
+        bias_away = bias is TieBias.AWAY
 
-            def ok(v: int) -> bool:
-                return dest_weight + vwt[v] <= hi
-
-            return ok
+        n_selects = 0
+        n_updates = 0
+        n_zero_skips = 0
+        n_net_skips = 0
 
         while True:
-            chosen = self._select(buckets, legal_from, last_src)
-            if chosen is None:
-                break
-            v = chosen
+            # ----- select the best legal move (inlined, per side) -----
+            # Mirrors GainBuckets.select: decay the max index past empty
+            # buckets, then apply the illegal-head policy top-down.  A
+            # move from side s is legal iff the destination stays under
+            # the upper bound (the source lower bound is implied, see
+            # BalanceConstraint.move_is_legal).
+            n_selects += 1
+            while maxi0 >= 0 and heads0[maxi0] == -1:
+                maxi0 -= 1
+            v0 = -1
+            k0 = 0
+            dw = pw[1]
+            idx = maxi0
+            if scan_bucket:
+                while idx >= 0:
+                    u = heads0[idx]
+                    while u != -1:
+                        if dw + vwt[u] <= hi:
+                            v0 = u
+                            k0 = idx - offset
+                            break
+                        u = next0[u]
+                    if v0 >= 0:
+                        break
+                    idx -= 1
+            else:
+                while idx >= 0:
+                    u = heads0[idx]
+                    if u != -1:
+                        if dw + vwt[u] <= hi:
+                            v0 = u
+                            k0 = idx - offset
+                            break
+                        if skip_part:
+                            break
+                    idx -= 1
+
+            while maxi1 >= 0 and heads1[maxi1] == -1:
+                maxi1 -= 1
+            v1 = -1
+            k1 = 0
+            dw = pw[0]
+            idx = maxi1
+            if scan_bucket:
+                while idx >= 0:
+                    u = heads1[idx]
+                    while u != -1:
+                        if dw + vwt[u] <= hi:
+                            v1 = u
+                            k1 = idx - offset
+                            break
+                        u = next1[u]
+                    if v1 >= 0:
+                        break
+                    idx -= 1
+            else:
+                while idx >= 0:
+                    u = heads1[idx]
+                    if u != -1:
+                        if dw + vwt[u] <= hi:
+                            v1 = u
+                            k1 = idx - offset
+                            break
+                        if skip_part:
+                            break
+                    idx -= 1
+
+            if v0 < 0:
+                if v1 < 0:
+                    break
+                v = v1
+            elif v1 < 0:
+                v = v0
+            else:
+                if k0 > k1:
+                    v = v0
+                elif k1 > k0:
+                    v = v1
+                # Equal-gain tie: apply the configured bias.
+                elif bias_part0:
+                    v = v0
+                elif last_src < 0:
+                    v = v0  # first move of the pass: deterministic default
+                elif bias_away:
+                    v = v0 if last_src == 1 else v1
+                else:  # TOWARD
+                    v = v0 if last_src == 0 else v1
+
             src = assign[v]
-            dst = 1 - src
-            buckets[src].remove(v)
+            if src == 0:
+                hs_s, ts_s, pv_s, nx_s = heads0, tails0, prev0, next0
+                key_s, pres_s = key0, present0
+                hs_d, ts_d, pv_d, nx_d = heads1, tails1, prev1, next1
+                key_d, pres_d = key1, present1
+                maxi_s, maxi_d = maxi0, maxi1
+                pins_src, pins_dst = pins0, pins1
+                dst = 1
+            else:
+                hs_s, ts_s, pv_s, nx_s = heads1, tails1, prev1, next1
+                key_s, pres_s = key1, present1
+                hs_d, ts_d, pv_d, nx_d = heads0, tails0, prev0, next0
+                key_d, pres_d = key0, present0
+                maxi_s, maxi_d = maxi1, maxi0
+                pins_src, pins_dst = pins1, pins0
+                dst = 0
+
+            # Unlink the chosen vertex from its bucket (inline remove).
+            idx = key_s[v] + offset
+            p = pv_s[v]
+            nn = nx_s[v]
+            if p != -1:
+                nx_s[p] = nn
+            else:
+                hs_s[idx] = nn
+            if nn != -1:
+                pv_s[nn] = p
+            else:
+                ts_s[idx] = p
+            pres_s[v] = False
             last_src = src
 
-            # Neighbour delta-gain updates use the *pre-move* pin counts.
-            pins_src, pins_dst = pins[src], pins[dst]
+            # ----- fused neighbour update + ledger update -------------
+            # Delta gains use the *pre-move* pin counts of each net;
+            # fusing is safe because each net appears once in the moved
+            # vertex's incidence list and only its own counts matter.
             for i in range(vtx_ptr[v], vtx_ptr[v + 1]):
                 e = vtx_nets[i]
-                w = net_w[e]
                 f = pins_src[e]  # includes v
                 t = pins_dst[e]
                 if not update_all and f > 2 and t > 1:
-                    # No pin of this net can change gain (non-critical
-                    # net) -- the classic fast skip, valid only under
-                    # the Nonzero policy.
+                    # Non-critical net: no pin can change gain (valid
+                    # only under the Nonzero policy) and the net stays
+                    # cut, so only the pin counts move.
+                    n_net_skips += 1
+                    pins_src[e] = f - 1
+                    pins_dst[e] = t + 1
                     continue
-                lo_, hi_ = net_ptr[e], net_ptr[e + 1]
-                for j in range(lo_, hi_):
+                w = net_w[e]
+                for j in range(net_ptr[e], net_ptr[e + 1]):
                     y = net_pins[j]
                     if y == v:
                         continue
-                    side_y = assign[y]
-                    bucket = buckets[side_y]
-                    if y not in bucket:
-                        continue  # locked, fixed, or guarded out
-                    if side_y == src:
-                        own_b, oth_b = f, t
-                        own_a, oth_a = f - 1, t + 1
+                    if assign[y] == src:
+                        if not pres_s[y]:
+                            continue  # locked, fixed, or guarded out
+                        # own: f -> f-1, other: t -> t+1
+                        if f == 2:
+                            delta = w
+                        elif f == 1:
+                            delta = -w
+                        else:
+                            delta = 0
+                        if t == 0:
+                            delta += w
+                        if delta != 0 or update_all:
+                            # Inline GainBuckets.update: unlink, relink
+                            # at the new key per the insertion order.
+                            # Under the All policy this runs even for
+                            # zero deltas — the in-bucket position shift
+                            # is the measured effect (Table 1).
+                            n_updates += 1
+                            ky = key_s[y]
+                            nk = ky + delta
+                            nidx = nk + offset
+                            if nidx < 0 or nidx >= span:
+                                raise ValueError(
+                                    f"key {nk} outside "
+                                    f"[-{offset}, {offset}]"
+                                )
+                            oidx = ky + offset
+                            p = pv_s[y]
+                            nn = nx_s[y]
+                            if p != -1:
+                                nx_s[p] = nn
+                            else:
+                                hs_s[oidx] = nn
+                            if nn != -1:
+                                pv_s[nn] = p
+                            else:
+                                ts_s[oidx] = p
+                            if rnd_order:
+                                at_head = rng_random() < 0.5
+                            else:
+                                at_head = head_order
+                            old = hs_s[nidx]
+                            if old == -1:
+                                hs_s[nidx] = y
+                                ts_s[nidx] = y
+                                pv_s[y] = -1
+                                nx_s[y] = -1
+                            elif at_head:
+                                nx_s[y] = old
+                                pv_s[y] = -1
+                                pv_s[old] = y
+                                hs_s[nidx] = y
+                            else:
+                                tl = ts_s[nidx]
+                                pv_s[y] = tl
+                                nx_s[y] = -1
+                                nx_s[tl] = y
+                                ts_s[nidx] = y
+                            key_s[y] = nk
+                            if nidx > maxi_s:
+                                maxi_s = nidx
+                        else:
+                            n_zero_skips += 1
                     else:
-                        own_b, oth_b = t, f
-                        own_a, oth_a = t + 1, f - 1
-                    delta = 0
-                    if own_a == 1:
-                        delta += w
-                    if own_b == 1:
-                        delta -= w
-                    if oth_a == 0:
-                        delta -= w
-                    if oth_b == 0:
-                        delta += w
-                    if delta != 0 or update_all:
-                        bucket.update(y, bucket.key_of(y) + delta)
+                        if not pres_d[y]:
+                            continue
+                        # own: t -> t+1, other: f -> f-1
+                        if t == 0:
+                            delta = w
+                        elif t == 1:
+                            delta = -w
+                        else:
+                            delta = 0
+                        if f == 1:
+                            delta -= w
+                        if delta != 0 or update_all:
+                            n_updates += 1
+                            ky = key_d[y]
+                            nk = ky + delta
+                            nidx = nk + offset
+                            if nidx < 0 or nidx >= span:
+                                raise ValueError(
+                                    f"key {nk} outside "
+                                    f"[-{offset}, {offset}]"
+                                )
+                            oidx = ky + offset
+                            p = pv_d[y]
+                            nn = nx_d[y]
+                            if p != -1:
+                                nx_d[p] = nn
+                            else:
+                                hs_d[oidx] = nn
+                            if nn != -1:
+                                pv_d[nn] = p
+                            else:
+                                ts_d[oidx] = p
+                            if rnd_order:
+                                at_head = rng_random() < 0.5
+                            else:
+                                at_head = head_order
+                            old = hs_d[nidx]
+                            if old == -1:
+                                hs_d[nidx] = y
+                                ts_d[nidx] = y
+                                pv_d[y] = -1
+                                nx_d[y] = -1
+                            elif at_head:
+                                nx_d[y] = old
+                                pv_d[y] = -1
+                                pv_d[old] = y
+                                hs_d[nidx] = y
+                            else:
+                                tl = ts_d[nidx]
+                                pv_d[y] = tl
+                                nx_d[y] = -1
+                                nx_d[tl] = y
+                                ts_d[nidx] = y
+                            key_d[y] = nk
+                            if nidx > maxi_d:
+                                maxi_d = nidx
+                        else:
+                            n_zero_skips += 1
+                # Apply the move to this net's pin counts and the exact
+                # cut ledger (transitions mirror Partition2.move).
+                pins_src[e] = f - 1
+                pins_dst[e] = t + 1
+                if t == 0:
+                    if f >= 2:
+                        cut += ledger_w[e]
+                elif f == 1:
+                    cut -= ledger_w[e]
 
-            partition.move(v)
-            move_log.append(v)
-            cut_log.append(partition.cut)
-            dist_log.append(bal.distance_from_bounds(partition.part_weights))
+            # Publish the per-side max indices back to the right locals.
+            if src == 0:
+                maxi0, maxi1 = maxi_s, maxi_d
+            else:
+                maxi1, maxi0 = maxi_s, maxi_d
+
+            wv = vwt[v]
+            assign[v] = dst
+            pw[src] -= wv
+            pw[dst] += wv
+            move_log[mcount] = v
+            cut_log[mcount] = cut
+            # Inline distance_from_bounds: min margin to the window edge.
+            pw0 = pw[0]
+            pw1 = pw[1]
+            d = pw0 - lo
+            d2 = hi - pw0
+            if d2 < d:
+                d = d2
+            d2 = pw1 - lo
+            if d2 < d:
+                d = d2
+            d2 = hi - pw1
+            if d2 < d:
+                d = d2
+            dist_log[mcount] = d
+            mcount += 1
+
+        # The fused loop maintained the ledger locally; publish it
+        # before rollback so Partition2.move sees consistent state.
+        partition.cut = cut
 
         # ----- choose the best prefix and roll back the rest ----------
         best_k = self._best_prefix(
@@ -272,17 +764,27 @@ class FMEngine:
             initial_legal,
             cut_log,
             dist_log,
+            mcount,
         )
-        for v in reversed(move_log[best_k:]):
-            partition.move(v)
+        for i in range(mcount - 1, best_k - 1, -1):
+            partition.move(move_log[i])
 
-        stuck = movable > 0 and not move_log
+        perf.selects += n_selects
+        perf.gain_updates += n_updates
+        perf.zero_delta_skips += n_zero_skips
+        perf.noncritical_net_skips += n_net_skips
+        perf.moves_applied += mcount
+        perf.moves_kept += best_k
+        perf.moves_rolled_back += mcount - best_k
+
+        stuck = movable > 0 and mcount == 0
         return PassStats(
-            moves_considered=len(move_log),
+            moves_considered=mcount,
             moves_kept=best_k,
             cut_before=cut_before,
             cut_after=partition.cut,
             stuck=stuck,
+            move_log=move_log[:mcount] if self.record_moves else None,
         )
 
     # ------------------------------------------------------------------
@@ -294,6 +796,7 @@ class FMEngine:
         initial_legal: bool,
         cut_log: List[float],
         dist_log: List[float],
+        count: Optional[int] = None,
     ) -> int:
         """Index ``k`` of the best move prefix (0 = keep no moves).
 
@@ -304,68 +807,56 @@ class FMEngine:
         to legality wins, so repeated passes converge into the balance
         window.  Ties on the minimum cut are broken per ``best_choice``
         (Section 2.2's fourth implicit decision).
+
+        Tie detection compares logged cut values with ``==``; with the
+        integer cut ledger these are exact integers, so mathematically
+        tied prefixes always compare equal (float accumulation could —
+        and in the non-integral fallback regime still can — split a
+        genuine tie and silently change which tie-break policy ran).
+
+        ``cut_log``/``dist_log`` may be preallocated scratch longer than
+        the pass; ``count`` bounds the valid entries (default: all).
         """
-        candidates: List[Tuple[float, int]] = []
-        if initial_legal:
-            candidates.append((cut_before, 0))
-        for k, c in enumerate(cut_log, start=1):
-            if dist_log[k - 1] >= 0:
-                candidates.append((c, k))
-        if not candidates:
+        if count is None:
+            count = len(cut_log)
+        have = initial_legal
+        best_cut = cut_before
+        for k in range(count):
+            if dist_log[k] >= 0:
+                c = cut_log[k]
+                if not have or c < best_cut:
+                    best_cut = c
+                    have = True
+        if not have:
             # No legal prefix: minimize the balance violation instead.
             best_k, best_d = 0, initial_distance
-            for k, d in enumerate(dist_log, start=1):
-                if d > best_d:
-                    best_d = d
-                    best_k = k
+            for k in range(count):
+                if dist_log[k] > best_d:
+                    best_d = dist_log[k]
+                    best_k = k + 1
             return best_k
-        best_cut = min(c for c, _ in candidates)
-        tied = [k for c, k in candidates if c == best_cut]
         if best_choice is BestChoice.FIRST:
-            return tied[0]
+            if initial_legal and cut_before == best_cut:
+                return 0
+            for k in range(count):
+                if dist_log[k] >= 0 and cut_log[k] == best_cut:
+                    return k + 1
+            raise AssertionError("legal prefix vanished")  # pragma: no cover
         if best_choice is BestChoice.LAST:
-            return tied[-1]
+            for k in range(count - 1, -1, -1):
+                if dist_log[k] >= 0 and cut_log[k] == best_cut:
+                    return k + 1
+            return 0  # only the initial solution attains the best cut
         # BALANCE: among minimum-cut prefixes, keep the one furthest
-        # from violating the balance constraint.
-        best_k = tied[0]
+        # from violating the balance constraint (earliest wins ties).
+        best_k = -1
         best_d = -float("inf")
-        for k in tied:
-            d = initial_distance if k == 0 else dist_log[k - 1]
-            if d > best_d:
-                best_d = d
-                best_k = k
+        if initial_legal and cut_before == best_cut:
+            best_k = 0
+            best_d = initial_distance
+        for k in range(count):
+            if dist_log[k] >= 0 and cut_log[k] == best_cut:
+                if dist_log[k] > best_d:
+                    best_d = dist_log[k]
+                    best_k = k + 1
         return best_k
-
-    # ------------------------------------------------------------------
-    def _select(
-        self,
-        buckets: Tuple[GainBuckets, GainBuckets],
-        legal_from,
-        last_src: Optional[int],
-    ) -> Optional[int]:
-        cfg = self.config
-        cands: List[Tuple[int, int, int]] = []  # (key, side, vertex)
-        for side in (0, 1):
-            v = buckets[side].select(legal_from(side), cfg.illegal_head)
-            if v is not None:
-                cands.append((buckets[side].key_of(v), side, v))
-        if not cands:
-            return None
-        if len(cands) == 1:
-            return cands[0][2]
-        (k0, s0, v0), (k1, s1, v1) = cands
-        if k0 > k1:
-            return v0
-        if k1 > k0:
-            return v1
-        # Equal-gain tie: apply the configured bias.
-        bias = cfg.tie_bias
-        if bias is TieBias.PART0:
-            return v0 if s0 == 0 else v1
-        if last_src is None:
-            return v0  # first move of the pass: deterministic default
-        if bias is TieBias.AWAY:
-            prefer = 1 - last_src
-        else:  # TOWARD
-            prefer = last_src
-        return v0 if s0 == prefer else v1

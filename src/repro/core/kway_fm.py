@@ -76,7 +76,15 @@ class KWayBalance:
 
 
 class PartitionK:
-    """Incremental k-way partition state (counts, spans, objectives)."""
+    """Incremental k-way partition state (counts, spans, objectives).
+
+    Mirrors :class:`~repro.core.partition.Partition2`'s exact integer
+    ledger: with all-integral net weights, ``cut`` and ``connectivity``
+    are maintained as exact ``int`` values and consistency checks
+    compare with ``==``.  The hot paths (``move``/``gain``) run on the
+    hypergraph's raw CSR arrays instead of the per-call list slices of
+    ``nets_of``/``pins_of``.
+    """
 
     def __init__(
         self,
@@ -98,23 +106,40 @@ class PartitionK:
         self.assignment = list(assignment)
         self.fixed = list(fixed) if fixed is not None else [False] * n
 
+        (
+            self._net_ptr,
+            self._net_pins,
+            self._vtx_ptr,
+            self._vtx_nets,
+        ) = hypergraph.raw_csr
+        raw_w = [hypergraph.net_weight(e) for e in hypergraph.nets()]
+        self.integral_nets: bool = all(w.is_integer() for w in raw_w)
+        if self.integral_nets:
+            self._net_weights: List[float] = [int(w) for w in raw_w]
+        else:
+            self._net_weights = raw_w
+        self._vertex_weights = [
+            hypergraph.vertex_weight(v) for v in range(n)
+        ]
+
         self.part_weights = [0.0] * k
         for v in range(n):
-            self.part_weights[self.assignment[v]] += hypergraph.vertex_weight(v)
+            self.part_weights[self.assignment[v]] += self._vertex_weights[v]
 
         m = hypergraph.num_nets
         self.counts: List[List[int]] = [[0] * k for _ in range(m)]
         self.span: List[int] = [0] * m
-        self.cut = 0.0
-        self.connectivity = 0.0
+        self.cut = 0 if self.integral_nets else 0.0
+        self.connectivity = 0 if self.integral_nets else 0.0
+        net_ptr, net_pins = self._net_ptr, self._net_pins
         for e in range(m):
             row = self.counts[e]
-            for v in hypergraph.pins_of(e):
-                row[self.assignment[v]] += 1
+            for i in range(net_ptr[e], net_ptr[e + 1]):
+                row[self.assignment[net_pins[i]]] += 1
             s = sum(1 for c in row if c > 0)
             self.span[e] = s
             if s > 1:
-                w = hypergraph.net_weight(e)
+                w = self._net_weights[e]
                 self.cut += w
                 self.connectivity += w * (s - 1)
 
@@ -126,15 +151,18 @@ class PartitionK:
         src = self.assignment[v]
         if src == dest:
             return
-        hg = self.hypergraph
-        w_v = hg.vertex_weight(v)
+        w_v = self._vertex_weights[v]
         self.assignment[v] = dest
         self.part_weights[src] -= w_v
         self.part_weights[dest] += w_v
-        for e in hg.nets_of(v):
-            row = self.counts[e]
-            w = hg.net_weight(e)
-            old_span = self.span[e]
+        vtx_ptr, vtx_nets = self._vtx_ptr, self._vtx_nets
+        counts, span, net_w = self.counts, self.span, self._net_weights
+        cut = self.cut
+        connectivity = self.connectivity
+        for i in range(vtx_ptr[v], vtx_ptr[v + 1]):
+            e = vtx_nets[i]
+            row = counts[e]
+            old_span = span[e]
             row[src] -= 1
             row[dest] += 1
             new_span = old_span
@@ -143,46 +171,66 @@ class PartitionK:
             if row[dest] == 1:
                 new_span += 1
             if new_span != old_span:
-                self.span[e] = new_span
-                self.connectivity += w * (new_span - old_span)
+                w = net_w[e]
+                span[e] = new_span
+                connectivity += w * (new_span - old_span)
                 if old_span == 1 and new_span > 1:
-                    self.cut += w
+                    cut += w
                 elif old_span > 1 and new_span == 1:
-                    self.cut -= w
+                    cut -= w
             # span unchanged: cut and connectivity unchanged.
+        self.cut = cut
+        self.connectivity = connectivity
 
     def gain(self, v: int, dest: int, objective: str = "cut") -> float:
-        """Objective decrease if ``v`` moved to ``dest`` right now."""
+        """Objective decrease if ``v`` moved to ``dest`` right now.
+
+        Exact ``int`` in the integral-net-weight regime.
+        """
         src = self.assignment[v]
         if src == dest:
-            return 0.0
-        hg = self.hypergraph
-        g = 0.0
-        for e in hg.nets_of(v):
-            row = self.counts[e]
-            w = hg.net_weight(e)
-            old_span = self.span[e]
+            return 0 if self.integral_nets else 0.0
+        g = 0 if self.integral_nets else 0.0
+        vtx_ptr, vtx_nets = self._vtx_ptr, self._vtx_nets
+        counts, span, net_w = self.counts, self.span, self._net_weights
+        connectivity_obj = objective == "connectivity"
+        for i in range(vtx_ptr[v], vtx_ptr[v + 1]):
+            e = vtx_nets[i]
+            row = counts[e]
+            old_span = span[e]
             new_span = old_span
             if row[src] == 1:
                 new_span -= 1
             if row[dest] == 0:
                 new_span += 1
-            if objective == "connectivity":
-                g -= w * (new_span - old_span)
+            if connectivity_obj:
+                g -= net_w[e] * (new_span - old_span)
             else:
                 if old_span == 1 and new_span > 1:
-                    g -= w
+                    g -= net_w[e]
                 elif old_span > 1 and new_span == 1:
-                    g += w
+                    g += net_w[e]
         return g
 
     def check_consistency(self) -> None:
-        """Assert incremental state matches from-scratch recomputation."""
+        """Assert incremental state matches from-scratch recomputation.
+
+        Exact comparison (``==``) for cut and connectivity in the
+        integer-ledger regime; 1e-9 tolerance in the float fallback.
+        """
         fresh = PartitionK(self.hypergraph, self.assignment, self.k, self.fixed)
-        if abs(fresh.cut - self.cut) > 1e-9:
-            raise AssertionError(f"cut drift {self.cut} vs {fresh.cut}")
-        if abs(fresh.connectivity - self.connectivity) > 1e-9:
-            raise AssertionError("connectivity drift")
+        if self.integral_nets:
+            if fresh.cut != self.cut:
+                raise AssertionError(
+                    f"cut drift {self.cut} vs {fresh.cut} (integer ledger)"
+                )
+            if fresh.connectivity != self.connectivity:
+                raise AssertionError("connectivity drift (integer ledger)")
+        else:
+            if abs(fresh.cut - self.cut) > 1e-9:
+                raise AssertionError(f"cut drift {self.cut} vs {fresh.cut}")
+            if abs(fresh.connectivity - self.connectivity) > 1e-9:
+                raise AssertionError("connectivity drift")
         if fresh.span != self.span:
             raise AssertionError("span drift")
         for p in range(self.k):
@@ -296,7 +344,13 @@ class KWayFM:
         n = hg.num_vertices
         k = part.k
         obj = self.objective
+        cut_obj = obj == "cut"
         lo, hi = balance.lower_bound, balance.upper_bound
+        net_ptr, net_pins, vtx_ptr, vtx_nets = hg.raw_csr
+        vwt = part._vertex_weights
+        pw = part.part_weights
+        assign = part.assignment
+        fixed = part.fixed
 
         heap: List = []
         stamp = [0] * n
@@ -304,7 +358,7 @@ class KWayFM:
 
         def push(v: int) -> None:
             stamp[v] += 1
-            src = part.assignment[v]
+            src = assign[v]
             for dest in range(k):
                 if dest == src:
                     continue
@@ -312,25 +366,25 @@ class KWayFM:
                 heapq.heappush(heap, (-g, v, dest, stamp[v]))
 
         for v in range(n):
-            if not part.fixed[v]:
+            if not fixed[v]:
                 push(v)
 
-        before = self._objective_value(part)
-        initial_legal = balance.is_legal(part.part_weights)
-        initial_distance = balance.distance_from_bounds(part.part_weights)
+        before = part.cut if cut_obj else part.connectivity
+        initial_legal = balance.is_legal(pw)
+        initial_distance = balance.distance_from_bounds(pw)
         move_log: List = []  # (v, src)
         obj_log: List[float] = []
         dist_log: List[float] = []
 
         while heap:
             neg_g, v, dest, s = heapq.heappop(heap)
-            if locked[v] or s != stamp[v] or part.assignment[v] == dest:
+            if locked[v] or s != stamp[v] or assign[v] == dest:
                 continue
-            w_v = hg.vertex_weight(v)
-            src = part.assignment[v]
-            if part.part_weights[dest] + w_v > hi:
+            w_v = vwt[v]
+            src = assign[v]
+            if pw[dest] + w_v > hi:
                 continue
-            if part.part_weights[src] - w_v < lo:
+            if pw[src] - w_v < lo:
                 continue
             # Stale-gain guard: the heap entry may predate neighbour
             # moves; validate before committing.
@@ -340,14 +394,25 @@ class KWayFM:
                 continue
             locked[v] = True
             affected = set()
-            for e in hg.nets_of(v):
-                for u in hg.pins_of(e):
-                    if not locked[u] and not part.fixed[u]:
+            for i in range(vtx_ptr[v], vtx_ptr[v + 1]):
+                e = vtx_nets[i]
+                for j in range(net_ptr[e], net_ptr[e + 1]):
+                    u = net_pins[j]
+                    if not locked[u] and not fixed[u]:
                         affected.add(u)
             part.move(v, dest)
             move_log.append((v, src))
-            obj_log.append(self._objective_value(part))
-            dist_log.append(balance.distance_from_bounds(part.part_weights))
+            obj_log.append(part.cut if cut_obj else part.connectivity)
+            # Inline distance_from_bounds: min margin to the window edge.
+            d = hi - pw[0]
+            for p in range(k):
+                m1 = pw[p] - lo
+                if m1 < d:
+                    d = m1
+                m2 = hi - pw[p]
+                if m2 < d:
+                    d = m2
+            dist_log.append(d)
             for u in affected:
                 push(u)
 

@@ -10,6 +10,18 @@
 All FM engines, the multilevel refiner and the rollback logic operate on
 this object; its incremental bookkeeping is validated against from-scratch
 recomputation in the test suite (including hypothesis property tests).
+
+**Exact integer cut ledger.**  When every net weight is integral (the
+regime FM requires — and the only regime real netlists use), the net
+weights are stored as ``int`` and :attr:`Partition2.cut` is maintained
+as an exact ``int`` under arbitrary move/rollback sequences.  This is
+not merely cosmetic: the FM engine's best-solution-of-pass tie-breaking
+(FIRST/LAST/BALANCE, Section 2.2's fourth implicit decision) detects
+ties by *exact equality* on logged cut values, so any drift in an
+incrementally-accumulated float cut silently changes which tie-break
+policy actually ran.  Non-integral net weights fall back to the float
+ledger (with the historical 1e-9 consistency tolerance) for non-FM
+consumers; :attr:`integral_nets` reports which regime is active.
 """
 
 from __future__ import annotations
@@ -48,6 +60,7 @@ class Partition2:
         "_vtx_nets",
         "_net_weights",
         "_vertex_weights",
+        "integral_nets",
     )
 
     def __init__(
@@ -78,7 +91,18 @@ class Partition2:
             self._vtx_ptr,
             self._vtx_nets,
         ) = hypergraph.raw_csr
-        self._net_weights = [hypergraph.net_weight(e) for e in hypergraph.nets()]
+        raw_net_weights = [
+            hypergraph.net_weight(e) for e in hypergraph.nets()
+        ]
+        #: True when every net weight is integral: the cut ledger is then
+        #: an exact ``int`` (no float drift, exact tie detection).
+        self.integral_nets: bool = all(
+            w.is_integer() for w in raw_net_weights
+        )
+        if self.integral_nets:
+            self._net_weights: List[float] = [int(w) for w in raw_net_weights]
+        else:
+            self._net_weights = raw_net_weights
         self._vertex_weights = [
             hypergraph.vertex_weight(v) for v in hypergraph.vertices()
         ]
@@ -90,7 +114,8 @@ class Partition2:
         m = hypergraph.num_nets
         pins0 = [0] * m
         pins1 = [0] * m
-        self.cut = 0.0
+        # Integer ledger in the integral regime: int + int stays int.
+        self.cut = 0 if self.integral_nets else 0.0
         for e in range(m):
             lo, hi = self._net_ptr[e], self._net_ptr[e + 1]
             c0 = 0
@@ -179,6 +204,7 @@ class Partition2:
         clone._vtx_nets = self._vtx_nets
         clone._net_weights = self._net_weights
         clone._vertex_weights = self._vertex_weights
+        clone.integral_nets = self.integral_nets
         return clone
 
     # ------------------------------------------------------------------
@@ -220,12 +246,15 @@ class Partition2:
     # incrementally but seed them from here at the start of each pass)
     # ------------------------------------------------------------------
     def gain(self, v: int) -> float:
-        """FM gain of moving ``v``: cut decrease if moved right now."""
+        """FM gain of moving ``v``: cut decrease if moved right now.
+
+        Exact ``int`` in the integral-net-weight regime.
+        """
         src = self.assignment[v]
         dst = 1 - src
         pins_src = self.pins_in_part[src]
         pins_dst = self.pins_in_part[dst]
-        g = 0.0
+        g = 0 if self.integral_nets else 0.0
         vp, vn = self._vtx_ptr, self._vtx_nets
         for i in range(vp[v], vp[v + 1]):
             e = vn[i]
@@ -243,9 +272,19 @@ class Partition2:
         return self.hypergraph.cut_size(self.assignment)
 
     def check_consistency(self) -> None:
-        """Assert incremental state matches a from-scratch recomputation."""
+        """Assert incremental state matches a from-scratch recomputation.
+
+        In the integer-ledger regime the cut comparison is **exact**
+        (``==``); the 1e-9 tolerance applies only to the float fallback.
+        """
         expected = Partition2(self.hypergraph, self.assignment, self.fixed)
-        if abs(expected.cut - self.cut) > 1e-9:
+        if self.integral_nets:
+            if expected.cut != self.cut:
+                raise AssertionError(
+                    f"cut drift: incremental {self.cut}, "
+                    f"actual {expected.cut} (integer ledger)"
+                )
+        elif abs(expected.cut - self.cut) > 1e-9:
             raise AssertionError(
                 f"cut drift: incremental {self.cut}, actual {expected.cut}"
             )

@@ -1,0 +1,122 @@
+"""Performance instrumentation for the FM kernels.
+
+The ROADMAP demands every hot path get measurably faster; this module
+makes "measurably" concrete.  :class:`PerfCounters` accumulates the
+kernel-level event counts that determine FM runtime — moves applied and
+rolled back, gain-container updates, the two classic skip fast-paths —
+plus per-pass wall-clock timings.  The engine populates one instance per
+``refine()`` call and attaches it to
+:attr:`~repro.core.engine.FMResult.perf`, so every experiment record can
+report *why* a configuration was slow (e.g. the All-delta-gain update
+policy shows up directly as a larger ``gain_updates`` count), not just
+that it was.
+
+Counters are plain integers incremented from pass-local variables at
+pass end, so instrumentation adds no per-move allocation to the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class PerfCounters:
+    """Event counts and timings for one FM refinement run.
+
+    Attributes
+    ----------
+    passes:
+        FM passes executed.
+    vertices_seeded:
+        Vertices inserted into the gain container across all passes
+        (eligible = not fixed, not guarded out by the corking guard).
+    selects:
+        Max-gain selection rounds, including the final failed one that
+        terminates each pass.
+    moves_applied:
+        Moves applied during passes, before best-prefix rollback.
+    moves_kept:
+        Moves surviving rollback (sum of kept prefixes).
+    moves_rolled_back:
+        ``moves_applied - moves_kept``.
+    gain_updates:
+        Gain-container reinsertions performed (the dominant cost of the
+        All-delta-gain update policy, Table 1).
+    zero_delta_skips:
+        Neighbour updates skipped because the delta gain was zero
+        (Nonzero update policy only).
+    noncritical_net_skips:
+        Nets skipped entirely by the critical-net fast path
+        (``f > 2 and t > 1``, valid only under the Nonzero policy).
+    pass_seconds:
+        Wall-clock seconds per pass.
+    total_seconds:
+        Wall-clock seconds for the whole ``refine()`` call.
+    """
+
+    passes: int = 0
+    vertices_seeded: int = 0
+    selects: int = 0
+    moves_applied: int = 0
+    moves_kept: int = 0
+    moves_rolled_back: int = 0
+    gain_updates: int = 0
+    zero_delta_skips: int = 0
+    noncritical_net_skips: int = 0
+    pass_seconds: List[float] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "PerfCounters") -> None:
+        """Accumulate ``other`` into this instance (for aggregating the
+        counters of several refine calls, e.g. across multilevel
+        uncoarsening or multistart runs)."""
+        self.passes += other.passes
+        self.vertices_seeded += other.vertices_seeded
+        self.selects += other.selects
+        self.moves_applied += other.moves_applied
+        self.moves_kept += other.moves_kept
+        self.moves_rolled_back += other.moves_rolled_back
+        self.gain_updates += other.gain_updates
+        self.zero_delta_skips += other.zero_delta_skips
+        self.noncritical_net_skips += other.noncritical_net_skips
+        self.pass_seconds.extend(other.pass_seconds)
+        self.total_seconds += other.total_seconds
+
+    @property
+    def moves_per_second(self) -> float:
+        """Applied moves per wall-clock second (0 when untimed)."""
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.moves_applied / self.total_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (used by ``BENCH_fm_kernel.json``
+        and experiment records)."""
+        return {
+            "passes": self.passes,
+            "vertices_seeded": self.vertices_seeded,
+            "selects": self.selects,
+            "moves_applied": self.moves_applied,
+            "moves_kept": self.moves_kept,
+            "moves_rolled_back": self.moves_rolled_back,
+            "gain_updates": self.gain_updates,
+            "zero_delta_skips": self.zero_delta_skips,
+            "noncritical_net_skips": self.noncritical_net_skips,
+            "pass_seconds": list(self.pass_seconds),
+            "total_seconds": self.total_seconds,
+            "moves_per_second": self.moves_per_second,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.passes} passes, {self.moves_applied} moves "
+            f"({self.moves_kept} kept, {self.moves_rolled_back} rolled "
+            f"back), {self.gain_updates} gain updates, "
+            f"{self.zero_delta_skips} zero-delta skips, "
+            f"{self.noncritical_net_skips} non-critical-net skips, "
+            f"{self.total_seconds:.4f}s"
+        )

@@ -141,12 +141,23 @@ def default_tau_grid(
     records: Sequence[TrialRecord], points: int = 12
 ) -> List[float]:
     """A geometric grid of budgets from the fastest single start to the
-    total recorded CPU, suitable as the x-axis of a BSF comparison."""
+    total recorded CPU, suitable as the x-axis of a BSF comparison.
+
+    ``points=1`` degenerates to the single most informative budget —
+    the total recorded CPU (the grid's endpoint); fewer than one point
+    is a caller error.
+    """
     if not records:
         raise ValueError("no records")
+    if points < 1:
+        raise ValueError(f"points must be >= 1, got {points}")
     fastest = min(r.runtime_seconds for r in records)
     total = sum(r.runtime_seconds for r in records)
     fastest = max(fastest, 1e-9)
+    if points == 1:
+        return [max(total, fastest)]
+    # Nudge total above fastest so the geometric ratio is well-defined
+    # even when a single record makes the span degenerate.
     total = max(total, fastest * 1.0001)
     ratio = (total / fastest) ** (1.0 / (points - 1))
     return [fastest * ratio**i for i in range(points)]

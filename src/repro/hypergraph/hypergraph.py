@@ -216,6 +216,30 @@ class Hypergraph:
         """Iterable over vertex ids."""
         return range(self._num_vertices)
 
+    def weight_fingerprint(self) -> Tuple[int, int, int, float, float]:
+        """Cheap, order-sensitive checksum of the weight vectors.
+
+        Hypergraphs are conceptually immutable, but nothing in Python
+        stops a caller from reaching into the weight arrays.  Engines
+        that cache per-hypergraph invariants (integer net weights, gain
+        bounds) key their caches on this fingerprint in addition to
+        object identity, so an out-of-band weight mutation invalidates
+        the cache instead of silently reusing stale gains.  Positional
+        weighting makes weight *swaps* visible too; this is a change
+        detector, not a cryptographic hash.
+        """
+        vw = 0.0
+        i = 1
+        for w in self._vertex_weights:
+            vw += i * w
+            i += 1
+        nw = 0.0
+        i = 1
+        for w in self._net_weights:
+            nw += i * w
+            i += 1
+        return (self._num_vertices, self._num_nets, len(self._net_pins), vw, nw)
+
     # Raw CSR access for performance-critical consumers (FM engine).
     @property
     def raw_csr(

@@ -128,7 +128,13 @@ class MLPartitioner:
 
         part = self._initial_partition(coarsest, balance, rng, coarsest_fixed)
 
+        # One refinement engine reused across all levels and V-cycles:
+        # its kernel scratch is keyed per hypergraph (identity + weight
+        # fingerprint), so repeated refines of the same level — e.g. the
+        # V-cycle rounds below — skip the invariant rebuild.  Behavior
+        # is unchanged: the engine carries no other cross-refine state.
         refine_cfg = replace(cfg.fm_config, max_passes=cfg.refine_passes)
+        refine_engine = FMEngine(balance, refine_cfg, rng)
         assignment = part.assignment
         for level, level_fixed in reversed(levels):
             assignment = level.project_assignment(assignment)
@@ -139,7 +145,7 @@ class MLPartitioner:
                 if level_fixed
                 else None,
             )
-            FMEngine(balance, refine_cfg, rng).refine(fine_part)
+            refine_engine.refine(fine_part)
             assignment = fine_part.assignment
 
         final = Partition2(
@@ -148,7 +154,7 @@ class MLPartitioner:
             fixed=[p is not None for p in fixed_parts] if fixed_parts else None,
         )
         for _ in range(cfg.vcycles):
-            self._one_vcycle(final, balance, rng, refine_cfg)
+            self._one_vcycle(final, balance, rng, refine_engine)
 
         return PartitionResult(
             assignment=final.assignment,
@@ -179,9 +185,10 @@ class MLPartitioner:
         refine_cfg = replace(
             self.config.fm_config, max_passes=self.config.refine_passes
         )
+        refine_engine = FMEngine(balance, refine_cfg, rng)
         part = Partition2(hypergraph, list(assignment))
         for _ in range(rounds):
-            self._one_vcycle(part, balance, rng, refine_cfg)
+            self._one_vcycle(part, balance, rng, refine_engine)
         return PartitionResult(
             assignment=part.assignment,
             cut=part.cut,
@@ -241,12 +248,15 @@ class MLPartitioner:
     ) -> Partition2:
         cfg = self.config
         init_cfg = self.config.fm_config
+        # All starts refine the same coarsest hypergraph, so one engine
+        # builds the kernel scratch once and reuses it per start.
+        engine = FMEngine(balance, init_cfg, rng)
         best: Optional[Partition2] = None
         for _ in range(max(1, cfg.initial_starts)):
             part = generate_initial(
                 coarsest, balance, init_cfg.initial_solution, rng, fixed
             )
-            FMEngine(balance, init_cfg, rng).refine(part)
+            engine.refine(part)
             if best is None or part.cut < best.cut:
                 best = part
         assert best is not None
@@ -257,7 +267,7 @@ class MLPartitioner:
         part: Partition2,
         balance: BalanceConstraint,
         rng: random.Random,
-        refine_cfg: FMConfig,
+        engine: FMEngine,
     ) -> None:
         """Restricted coarsening + refinement descent, in place."""
         cfg = self.config
@@ -288,12 +298,12 @@ class MLPartitioner:
             fixed = coarse_fixed
 
         coarse_part = Partition2(hg, assignment, fixed)
-        FMEngine(balance, refine_cfg, rng).refine(coarse_part)
+        engine.refine(coarse_part)
         assignment = coarse_part.assignment
         for level, level_fixed in zip(reversed(levels), reversed(fixed_per_level)):
             assignment = level.project_assignment(assignment)
             fine_part = Partition2(level.fine, assignment, level_fixed)
-            FMEngine(balance, refine_cfg, rng).refine(fine_part)
+            engine.refine(fine_part)
             assignment = fine_part.assignment
 
         # Write the improved assignment back into ``part``.

@@ -97,3 +97,24 @@ class TestTauGrid:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             default_tau_grid([])
+
+    def test_single_point_is_total_budget(self):
+        # Regression: points=1 used to raise ZeroDivisionError computing
+        # the geometric ratio exponent 1/(points - 1).
+        rs = [rec(30, 1.0), rec(20, 2.0), rec(10, 4.0)]
+        assert default_tau_grid(rs, points=1) == pytest.approx([7.0])
+
+    def test_single_point_single_record(self):
+        assert default_tau_grid([rec(30, 3.0)], points=1) == pytest.approx([3.0])
+
+    def test_nonpositive_points_rejected(self):
+        rs = [rec(30, 1.0)]
+        with pytest.raises(ValueError, match="points"):
+            default_tau_grid(rs, points=0)
+        with pytest.raises(ValueError, match="points"):
+            default_tau_grid(rs, points=-3)
+
+    def test_two_points_span_endpoints(self):
+        rs = [rec(30, 1.0), rec(20, 2.0), rec(10, 4.0)]
+        grid = default_tau_grid(rs, points=2)
+        assert grid == pytest.approx([1.0, 7.0])

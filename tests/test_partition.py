@@ -4,8 +4,18 @@ import random
 
 import pytest
 
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
 from repro.core import BalanceConstraint, Partition2
+from repro.hypergraph import Hypergraph
 from repro.instances import generate_circuit, random_hypergraph
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
 
 
 class TestConstruction:
@@ -122,3 +132,70 @@ class TestCopy:
         assert p.cut != q.cut
         p.check_consistency()
         q.check_consistency()
+
+
+class TestIntegerCutLedger:
+    """Property tests for the exact integer cut ledger.
+
+    With integral net weights the incremental cut must stay a Python
+    ``int`` — bit-for-bit equal to a from-scratch recount — under any
+    move sequence, including immediate undo (rollback) patterns.  This
+    exactness is what makes best-prefix ties detectable (see
+    tests/test_kernel_equivalence.py for the end-to-end consequence).
+    """
+
+    @staticmethod
+    def _random_instance(draw_seed, integral):
+        rng = random.Random(draw_seed)
+        n = rng.randint(2, 24)
+        nets = []
+        for _ in range(rng.randint(1, 40)):
+            size = rng.randint(2, min(5, n))
+            nets.append(rng.sample(range(n), size))
+        if integral:
+            weights = [float(rng.randint(1, 9)) for _ in nets]
+        else:
+            weights = [rng.randint(1, 9) * 0.1 for _ in nets]
+        hg = Hypergraph(nets, n, net_weights=weights)
+        part = Partition2(hg, [rng.randint(0, 1) for _ in range(n)])
+        moves = [rng.randrange(n) for _ in range(60)]
+        return hg, part, moves
+
+    @given(seed=st.integers(min_value=0, max_value=10**9))
+    @SETTINGS
+    def test_cut_stays_exact_int_under_random_moves(self, seed):
+        hg, part, moves = self._random_instance(seed, integral=True)
+        assert part.integral_nets
+        assert isinstance(part.cut, int)
+        for v in moves:
+            part.move(v)
+            assert isinstance(part.cut, int)
+            # Exact equality, not approx: the ledger never drifts.
+            assert part.cut == int(hg.cut_size(part.assignment))
+        part.check_consistency()
+
+    @given(seed=st.integers(min_value=0, max_value=10**9))
+    @SETTINGS
+    def test_move_then_undo_restores_exact_cut(self, seed):
+        _, part, moves = self._random_instance(seed, integral=True)
+        for v in moves:
+            before = part.cut
+            part.move(v)
+            part.move(v)
+            assert part.cut == before  # exact ==, valid only for ints
+
+    @given(seed=st.integers(min_value=0, max_value=10**9))
+    @SETTINGS
+    def test_float_fallback_stays_close_but_not_exact_typed(self, seed):
+        hg, part, moves = self._random_instance(seed, integral=False)
+        assert not part.integral_nets
+        assert isinstance(part.cut, float)
+        for v in moves:
+            part.move(v)
+        assert part.cut == pytest.approx(hg.cut_size(part.assignment))
+        part.check_consistency()
+
+    def test_gain_is_int_in_integral_regime(self):
+        hg, part, _ = self._random_instance(7, integral=True)
+        for v in range(hg.num_vertices):
+            assert isinstance(part.gain(v), int)

@@ -1,0 +1,57 @@
+"""Regression gate for the multilevel coarsening kernel + hierarchy pool.
+
+Runs the end-to-end ``repro bench ml`` harness: a full multistart whose
+baseline rebuilds every coarsening hierarchy through the frozen seed
+oracle (oracle-mode :class:`~repro.multilevel.mlpart.MLPartitioner`)
+and whose subject draws kernel-built hierarchies from a seeded
+:class:`~repro.multilevel.pool.HierarchyPool`.  The split-RNG pooling
+contract makes the per-start cuts bit-identical, so the gate asserts
+exact cut equivalence *and* the issue's end-to-end speedup floor.
+
+Marked slow: 3 repeats × 2 paths × 8 full multilevel starts of
+pure-Python partitioning — seconds at the acceptance scale
+(REPRO_BENCH_SCALE=16), not tier-1 material.
+"""
+
+import pytest
+
+from _common import bench_scale
+
+pytestmark = pytest.mark.slow
+
+#: Acceptance floor: pooled kernel path at least this much faster than
+#: the seed-oracle path, end to end, at num_starts=8.
+MIN_SPEEDUP = 2.0
+
+
+def test_bench_ml_coarsen_vs_seed_oracle():
+    """Pooled-kernel multistart gate; writes ``BENCH_ml_coarsen.json``.
+
+    The machine-readable record (timings, speedup, per-start cuts,
+    coarsening perf counters, equivalence verdict) lands both in the
+    repository root — the regression artifact named by the issue — and
+    under ``benchmarks/results`` with the other bench outputs.
+    """
+    from pathlib import Path
+
+    from repro.bench import bench_ml_coarsen, render_ml_bench, write_bench_json
+
+    from _common import RESULTS_DIR, emit
+
+    result = bench_ml_coarsen(
+        scale=bench_scale(), repeats=3, num_starts=8, pool_size=2
+    )
+    emit("BENCH_ml_coarsen", render_ml_bench(result))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_json(result, str(RESULTS_DIR / "BENCH_ml_coarsen.json"))
+    write_bench_json(
+        result,
+        str(Path(__file__).resolve().parent.parent / "BENCH_ml_coarsen.json"),
+    )
+    assert result["equivalent"], (
+        "pooled kernel cuts diverged from the seed-oracle path"
+    )
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"multilevel speedup regressed: {result['speedup']:.2f}x "
+        f"< {MIN_SPEEDUP:g}x"
+    )

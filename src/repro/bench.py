@@ -1,11 +1,21 @@
-"""Microbenchmark harness for the FM kernel (``repro bench fm``).
+"""Microbenchmark harnesses with machine-readable regression output.
 
-Times the production :class:`~repro.core.engine.FMEngine` against the
-frozen seed reference (:class:`~repro.core._seed_engine.SeedFMEngine`)
-on identical inputs, **verifies move-for-move equivalence on the same
-run**, and emits a machine-readable ``BENCH_fm_kernel.json`` so CI (or
-the next PR) can gate on kernel regressions instead of eyeballing
-timings.
+``repro bench fm`` times the production
+:class:`~repro.core.engine.FMEngine` against the frozen seed reference
+(:class:`~repro.core._seed_engine.SeedFMEngine`) on identical inputs,
+**verifies move-for-move equivalence on the same run**, and emits a
+machine-readable ``BENCH_fm_kernel.json`` so CI (or the next PR) can
+gate on kernel regressions instead of eyeballing timings.
+
+``repro bench ml`` (:func:`bench_ml_coarsen`) applies the same
+discipline one layer up: an end-to-end multilevel multistart where the
+baseline rebuilds the coarsening hierarchy per start through the frozen
+seed oracle (:class:`~repro.multilevel.mlpart.MLPartitioner` in oracle
+mode), while the subject draws kernel-built hierarchies from a seeded
+:class:`~repro.multilevel.pool.HierarchyPool`.  The split-RNG pooling
+contract (see :mod:`repro.multilevel.pool`) makes the two runs
+bit-identical per start, so the equivalence check compares the full
+per-start cut vectors and any divergence fails the bench outright.
 
 Methodology
 -----------
@@ -46,7 +56,15 @@ from repro.core.balance import BalanceConstraint
 from repro.core.config import FMConfig
 from repro.core.engine import FMEngine, FMResult
 from repro.core.partition import Partition2
+from repro.core.perf import PerfCounters
 from repro.instances.suite import suite_instance
+from repro.multilevel.mlpart import MLConfig, MLPartitioner
+from repro.multilevel.pool import (
+    HierarchyPool,
+    build_hierarchy,
+    hierarchy_seed,
+    run_multistart_pooled,
+)
 
 #: Named kernel configurations the bench exercises.  Flat LIFO FM and
 #: CLIP are the two production hot paths; both run with the corking
@@ -223,3 +241,153 @@ def write_fm_bench_json(result: Dict[str, object], path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+#: Alias: the writer is schema-agnostic and serves every bench.
+write_bench_json = write_fm_bench_json
+
+
+# ----------------------------------------------------------------------
+# Multilevel coarsening kernel + hierarchy pooling (``repro bench ml``)
+# ----------------------------------------------------------------------
+def bench_ml_coarsen(
+    instance: str = "ibm01s",
+    scale: int = 32,
+    repeats: int = 3,
+    num_starts: int = 8,
+    pool_size: int = 2,
+    seed: int = 0,
+    tolerance: float = 0.02,
+    clip: bool = False,
+) -> Dict[str, object]:
+    """End-to-end multilevel multistart: seed-oracle path vs pooled kernels.
+
+    Baseline (the pre-kernel code path, frozen): every start rebuilds
+    its coarsening hierarchy through the seed oracle and partitions with
+    :class:`MLPartitioner` in oracle mode (frozen seed FM engine, plain
+    partition construction, fresh projection allocations).  Subject: the
+    production path — :func:`run_multistart_pooled` over a seeded
+    :class:`HierarchyPool` of ``pool_size`` kernel-built hierarchies,
+    cached engines with warm scratch, buffered projections.
+
+    Both paths give start ``i`` hierarchy seed
+    ``hierarchy_seed(seed, i % pool_size)`` and per-start seed
+    ``seed + i``, so they are bit-identical by the pooling contract: the
+    equivalence verdict compares the per-start cut vectors exactly (and
+    their stability across repeats).  Timings are end-to-end per
+    multistart run; the reported times are minima over ``repeats``, with
+    baseline and subject interleaved within each repeat so slow drift in
+    the environment hits both equally.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if num_starts < 1:
+        raise ValueError("num_starts must be >= 1")
+    if pool_size < 1:
+        raise ValueError("pool_size must be >= 1")
+
+    hg = suite_instance(instance, scale=scale)
+    config = MLConfig(fm_config=FMConfig(clip=clip))
+
+    def run_baseline() -> List[float]:
+        engine = MLPartitioner(config, tolerance=tolerance, oracle=True)
+        cuts: List[float] = []
+        for i in range(num_starts):
+            h = build_hierarchy(
+                hg,
+                config,
+                random.Random(hierarchy_seed(seed, i % pool_size)),
+                oracle=True,
+            )
+            cuts.append(engine.partition(hg, seed=seed + i, hierarchy=h).cut)
+        return cuts
+
+    def run_pooled(perf: PerfCounters) -> List[float]:
+        pool = HierarchyPool(
+            hg, config, pool_size, base_seed=seed, perf=perf
+        )
+        engine = MLPartitioner(config, tolerance=tolerance)
+        ms = run_multistart_pooled(
+            engine, hg, num_starts, base_seed=seed, pool=pool
+        )
+        return [s.cut for s in ms.starts]
+
+    base_secs: List[float] = []
+    pool_secs: List[float] = []
+    base_cuts: List[float] = []
+    pool_cuts: List[float] = []
+    perf_dict: Dict[str, object] = {}
+    equivalent = True
+    for rep in range(repeats):
+        t0 = time.perf_counter()
+        cuts_b = run_baseline()
+        base_secs.append(time.perf_counter() - t0)
+
+        perf = PerfCounters()
+        t0 = time.perf_counter()
+        cuts_p = run_pooled(perf)
+        pool_secs.append(time.perf_counter() - t0)
+        perf_dict = perf.as_dict()
+
+        if rep == 0:
+            base_cuts, pool_cuts = cuts_b, cuts_p
+        # Bit-identical per start, and deterministic across repeats.
+        equivalent = equivalent and (
+            cuts_b == cuts_p and cuts_b == base_cuts and cuts_p == pool_cuts
+        )
+
+    best_base = min(base_secs)
+    best_pool = min(pool_secs)
+    speedup = best_base / best_pool if best_pool > 0 else float("inf")
+    return {
+        "benchmark": "ml_coarsen",
+        "instance": {
+            "name": instance,
+            "scale": scale,
+            "num_vertices": hg.num_vertices,
+            "num_nets": hg.num_nets,
+            "num_pins": hg.num_pins,
+        },
+        "repeats": repeats,
+        "num_starts": num_starts,
+        "pool_size": pool_size,
+        "seed": seed,
+        "tolerance": tolerance,
+        "clip": clip,
+        "baseline_seconds": base_secs,
+        "pooled_seconds": pool_secs,
+        "best_baseline_seconds": best_base,
+        "best_pooled_seconds": best_pool,
+        "speedup": speedup,
+        "equivalent": equivalent,
+        "cuts": pool_cuts,
+        "best_cut": min(pool_cuts),
+        "perf": perf_dict,
+    }
+
+
+def render_ml_bench(result: Dict[str, object]) -> str:
+    """Human-readable summary for one :func:`bench_ml_coarsen` result."""
+    inst = result["instance"]
+    perf = result.get("perf") or {}
+    lines = [
+        f"Multilevel coarsening bench — {inst['name']} (scale "
+        f"{inst['scale']}: {inst['num_vertices']} cells, "
+        f"{inst['num_nets']} nets, {inst['num_pins']} pins), "
+        f"{result['num_starts']} start(s), pool size "
+        f"{result['pool_size']}, {result['repeats']} repeat(s), "
+        f"tolerance {result['tolerance']:g}",
+        "",
+        f"seed-oracle path: {result['best_baseline_seconds']:8.3f} s "
+        f"(per-start hierarchy rebuild + frozen seed engines)",
+        f"pooled kernels:   {result['best_pooled_seconds']:8.3f} s "
+        f"({perf.get('hierarchies_built', '?')} built, "
+        f"{perf.get('hierarchies_reused', '?')} reused, "
+        f"{perf.get('coarsen_levels', '?')} level(s) total)",
+        "",
+        f"speedup: {result['speedup']:.2f}x — per-start cuts "
+        f"bit-identical: {'yes' if result['equivalent'] else 'NO'}",
+        f"best cut: {result['best_cut']:g} over cuts "
+        f"{[int(c) if float(c).is_integer() else c for c in result['cuts']]}",
+    ]
+    return "\n".join(lines)

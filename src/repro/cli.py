@@ -215,6 +215,44 @@ def cmd_bench_fm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_ml(args: argparse.Namespace) -> int:
+    """Multilevel coarsening/pooling bench vs the frozen seed-oracle path.
+
+    Prints a summary, writes machine-readable JSON, and gates: exit
+    code 1 when the pooled kernel path is below ``--min-speedup`` or
+    any per-start cut diverges from the oracle baseline.
+    """
+    from repro.bench import bench_ml_coarsen, render_ml_bench, write_bench_json
+
+    result = bench_ml_coarsen(
+        instance=args.instance,
+        scale=args.scale,
+        repeats=args.repeats,
+        num_starts=args.num_starts,
+        pool_size=args.pool_size,
+        seed=args.seed,
+        tolerance=args.tolerance,
+        clip=args.clip,
+    )
+    print(render_ml_bench(result))
+    write_bench_json(result, args.output)
+    print(f"\nwrote {args.output}")
+    if not result["equivalent"]:
+        print(
+            "error: pooled kernel cuts diverged from the seed-oracle path",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_speedup and result["speedup"] < args.min_speedup:
+        print(
+            f"error: speedup {result['speedup']:.2f}x below required "
+            f"{args.min_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 def cmd_campaign_run(args: argparse.Namespace) -> int:
     """Orchestrated campaign: parallel workers + crash-safe journal."""
@@ -421,6 +459,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail (exit 1) below this geomean speedup")
     b.add_argument("-o", "--output", default="BENCH_fm_kernel.json")
     b.set_defaults(func=cmd_bench_fm)
+
+    b = bsub.add_parser(
+        "ml",
+        help="multilevel coarsening kernel + hierarchy pool vs the frozen "
+        "seed-oracle path (writes BENCH_ml_coarsen.json)",
+    )
+    b.add_argument("--instance", default="ibm01s",
+                   help="synthetic suite instance (default ibm01s)")
+    b.add_argument("--scale", type=int, default=16,
+                   help="suite scale divisor (default 16 = acceptance size)")
+    b.add_argument("--repeats", type=int, default=3,
+                   help="multistart runs per path (min is reported)")
+    b.add_argument("--num-starts", type=int, default=8,
+                   help="starts per multistart run (acceptance: 8)")
+    b.add_argument("--pool-size", type=int, default=2,
+                   help="pooled hierarchies (default 2)")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--tolerance", type=float, default=0.02)
+    b.add_argument("--clip", action="store_true",
+                   help="CLIP refinement instead of flat LIFO FM")
+    b.add_argument("--min-speedup", type=float, default=2.0,
+                   help="fail (exit 1) below this end-to-end speedup "
+                   "(default 2.0; pass 0 to disable the gate)")
+    b.add_argument("-o", "--output", default="BENCH_ml_coarsen.json")
+    b.set_defaults(func=cmd_bench_ml)
 
     p = sub.add_parser(
         "campaign",

@@ -67,6 +67,15 @@ from repro.core.gain_bucket import (
 from repro.core.partition import Partition2
 from repro.core.perf import PerfCounters
 
+try:  # vectorized gain seeding (optional dependency)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+#: Below this vertex count the Python seeding loop beats the numpy
+#: round-trip (array conversions dominate); measured crossover ~150.
+_VECTOR_SEED_MIN_VERTICES = 192
+
 
 @dataclass
 class PassStats:
@@ -119,6 +128,7 @@ class _PassScratch:
         "net_w",
         "ledger_w",
         "vwt",
+        "vw_integral",
         "max_abs",
         "buckets",
         "gain",
@@ -126,11 +136,19 @@ class _PassScratch:
         "move_log",
         "cut_log",
         "dist_log",
+        "snap_assign",
+        "snap_pins0",
+        "snap_pins1",
+        "snap_break_even",
+        "np_owner",
+        "np_vtx_nets",
+        "np_net_w",
     )
 
     def __init__(self, partition: Partition2, order, rng) -> None:
         hg = partition.hypergraph
         n = hg.num_vertices
+        m = hg.num_nets
         _, _, vtx_ptr, vtx_nets = hg.raw_csr
         net_w = []
         for e in hg.nets():
@@ -164,6 +182,36 @@ class _PassScratch:
         self.move_log = [0] * n
         self.cut_log = [0.0] * n
         self.dist_log = [0.0] * n
+        # Snapshot-restore rollback state (see FMEngine.snapshot_rollback).
+        # Restore-then-replay reorders the floating-point part-weight
+        # updates relative to reverse rollback, so the fast path is only
+        # exact — hence only taken — when vertex weights are integral
+        # (net weights already are, enforced above).
+        self.vw_integral = all(w == int(w) for w in self.vwt)
+        self.snap_assign = [0] * n
+        self.snap_pins0 = [0] * m
+        self.snap_pins1 = [0] * m
+        # Break-even point between restoring three length-n/m slices
+        # plus replaying the kept prefix vs. replaying the rollback
+        # suffix: slice copies run at memcpy speed while Partition2.move
+        # is a Python call that walks the vertex's nets, so the copies
+        # amortize over roughly (2n + 4m)/128 moves.
+        self.snap_break_even = 1 + (2 * n + 4 * m) // 128
+        # Vectorized-seeding statics, built lazily on first use so the
+        # compat (pre-vectorization) engine mode never pays for them.
+        self.np_owner = None
+        self.np_vtx_nets = None
+        self.np_net_w = None
+
+    def ensure_np(self, hg) -> None:
+        """Build the numpy incidence/weight arrays for gain seeding."""
+        _, _, vtx_ptr, vtx_nets = hg.raw_csr
+        ptr = _np.array(vtx_ptr, dtype=_np.int64)
+        self.np_vtx_nets = _np.array(vtx_nets, dtype=_np.int64)
+        self.np_owner = _np.repeat(
+            _np.arange(hg.num_vertices, dtype=_np.int64), _np.diff(ptr)
+        )
+        self.np_net_w = _np.array(self.net_w, dtype=_np.int64)
 
 
 class FMEngine:
@@ -183,7 +231,34 @@ class FMEngine:
         sequence of its pass (``move_log``).  Used by the equivalence
         suite and the kernel microbenchmark; off by default because the
         per-pass list copy is pure overhead in production runs.
+    snapshot_rollback:
+        When True (default), a pass snapshots the partition state
+        (assignment, pin counts, part weights) before moving and, when
+        the rollback suffix is long, restores the snapshot and replays
+        only the kept prefix instead of undoing move by move.  FM
+        rollback is typically ~97% of applied moves — almost every pass
+        keeps a short prefix of a long speculative move sequence — so
+        restore-and-replay is far cheaper than reverse rollback.  The
+        fast path engages only when vertex weights are integral (the
+        two orders are then bit-identical); set False to force the
+        seed engine's reverse rollback everywhere, e.g. as the
+        pre-pooling baseline in ``repro bench ml``.
+    vector_seed:
+        When True (default), the per-pass gain seeding is computed with
+        numpy on the flat incidence arrays instead of the Python
+        per-vertex loop, for hypergraphs large enough to amortize the
+        array round-trip.  Gains are exact integers either way, so the
+        results are bit-identical; the flag (like ``snapshot_rollback``)
+        exists so the benchmark baseline can run the faithful
+        pre-vectorization code path.  Ignored when numpy is missing.
     """
+
+    #: Scratch entries kept per engine before the cache is reset.  A
+    #: multilevel hierarchy is ~15 levels deep and a pooled multistart
+    #: serves a few hierarchies from one engine, so 64 comfortably holds
+    #: several hierarchies plus V-cycle intermediates without letting a
+    #: pathological caller grow the cache without bound.
+    _SCRATCH_CACHE_LIMIT = 64
 
     def __init__(
         self,
@@ -191,14 +266,26 @@ class FMEngine:
         config: Optional[FMConfig] = None,
         rng: Optional[random.Random] = None,
         record_moves: bool = False,
+        snapshot_rollback: bool = True,
+        vector_seed: bool = True,
     ) -> None:
         self.balance = balance
         self.config = config if config is not None else FMConfig()
         self.rng = rng if rng is not None else random.Random(0)
         self.record_moves = record_moves
+        self.snapshot_rollback = snapshot_rollback
+        self.vector_seed = vector_seed and _np is not None
         # Scratch cache: per-hypergraph invariants plus preallocated
-        # kernel arrays, keyed on identity AND a weight fingerprint so
-        # out-of-band weight mutation cannot leave stale gains behind.
+        # kernel arrays, keyed on (hypergraph identity, insertion order)
+        # AND validated against a weight fingerprint so out-of-band
+        # weight mutation cannot leave stale gains behind.  A dict (not
+        # a single slot) so one engine serving a whole multilevel
+        # hierarchy — or a pooled multistart run — keeps scratch for
+        # every level instead of thrashing on each uncoarsening step.
+        # Entries hold a strong hypergraph reference: identity keys stay
+        # valid because a cached hypergraph cannot be collected and its
+        # id() reused while the entry lives.
+        self._scratch_cache: dict = {}
         self._scratch: Optional[_PassScratch] = None
         self._scratch_for = None
         self._scratch_fingerprint = None
@@ -243,7 +330,7 @@ class FMEngine:
 
     # ------------------------------------------------------------------
     def _ensure_scratch(self, partition: Partition2) -> None:
-        """(Re)build the kernel scratch unless the cached one is valid."""
+        """(Re)build the kernel scratch unless a cached one is valid."""
         hg = partition.hypergraph
         fp = hg.weight_fingerprint()
         order = self.config.insertion_order
@@ -254,7 +341,16 @@ class FMEngine:
             and self._scratch_order is order
         ):
             return
-        self._scratch = _PassScratch(partition, order, self.rng)
+        key = (id(hg), order)
+        entry = self._scratch_cache.get(key)
+        if entry is not None and entry[0] is hg and entry[1] == fp:
+            sc = entry[2]
+        else:
+            sc = _PassScratch(partition, order, self.rng)
+            if len(self._scratch_cache) >= self._SCRATCH_CACHE_LIMIT:
+                self._scratch_cache.clear()
+            self._scratch_cache[key] = (hg, fp, sc)
+        self._scratch = sc
         self._scratch_for = hg
         self._scratch_fingerprint = fp
         self._scratch_order = order
@@ -274,6 +370,24 @@ class FMEngine:
         fixed = partition.fixed
         pins0, pins1 = partition.pins_in_part
         pw = partition.part_weights
+
+        # Snapshot the pre-pass partition state so the rollback can be a
+        # restore-and-replay instead of an undo of (typically ~97% of)
+        # the speculative moves.  Gated on integral vertex weights AND
+        # an integral cut ledger: the replay re-derives part weights and
+        # the cut in forward order, which for floats is not
+        # bit-identical to undoing in reverse.
+        snap = (
+            self.snapshot_rollback
+            and sc.vw_integral
+            and partition.integral_nets
+        )
+        if snap:
+            sc.snap_assign[:] = assign
+            sc.snap_pins0[:] = pins0
+            sc.snap_pins1[:] = pins1
+            snap_pw0 = pw[0]
+            snap_pw1 = pw[1]
 
         # The kernel owns the bucket pair for the whole pass: all
         # insert/remove/select operations below run inline on the raw
@@ -301,25 +415,59 @@ class FMEngine:
         elig = sc.eligible
         gain_arr = sc.gain
         ecount = 0
-        for v in range(n):
-            if fixed[v]:
-                continue
-            if guard and vwt[v] > slack:
-                continue  # corking guard: this cell can never legally move
-            if assign[v] == 0:
-                ps_, pd_ = pins0, pins1
-            else:
-                ps_, pd_ = pins1, pins0
-            g = 0
-            for i in range(vtx_ptr[v], vtx_ptr[v + 1]):
-                e = vtx_nets[i]
-                if ps_[e] == 1:
-                    g += ledger_w[e]
-                if pd_[e] == 0:
-                    g -= ledger_w[e]
-            gain_arr[v] = int(g)
-            elig[ecount] = v
-            ecount += 1
+        if (
+            self.vector_seed
+            and n >= _VECTOR_SEED_MIN_VERTICES
+            and partition.integral_nets
+        ):
+            # Vectorized seeding: gains are integer sums over incident
+            # nets, so numpy int arithmetic reproduces the loop below
+            # bit for bit (the integral-ledger gate keeps the near-
+            # integral float regime, where ledger and scratch weights
+            # can differ, on the exact loop).  Per-net contributions for
+            # a vertex on side 0 and side 1 are computed once, scattered
+            # to pins, and summed per owning vertex.
+            if sc.np_owner is None:
+                sc.ensure_np(hg)
+            w_np = sc.np_net_w
+            a_np = _np.array(assign, dtype=_np.int64)
+            p0_np = _np.array(pins0, dtype=_np.int64)
+            p1_np = _np.array(pins1, dtype=_np.int64)
+            g0 = w_np * (p0_np == 1) - w_np * (p1_np == 0)
+            g1 = w_np * (p1_np == 1) - w_np * (p0_np == 0)
+            vn = sc.np_vtx_nets
+            own = sc.np_owner
+            s0 = _np.bincount(own, weights=g0[vn], minlength=n)
+            s1 = _np.bincount(own, weights=g1[vn], minlength=n)
+            g_list = _np.where(a_np == 0, s0, s1).astype(_np.int64).tolist()
+            for v in range(n):
+                if fixed[v]:
+                    continue
+                if guard and vwt[v] > slack:
+                    continue  # corking guard: can never legally move
+                gain_arr[v] = g_list[v]
+                elig[ecount] = v
+                ecount += 1
+        else:
+            for v in range(n):
+                if fixed[v]:
+                    continue
+                if guard and vwt[v] > slack:
+                    continue  # corking guard: can never legally move
+                if assign[v] == 0:
+                    ps_, pd_ = pins0, pins1
+                else:
+                    ps_, pd_ = pins1, pins0
+                g = 0
+                for i in range(vtx_ptr[v], vtx_ptr[v + 1]):
+                    e = vtx_nets[i]
+                    if ps_[e] == 1:
+                        g += ledger_w[e]
+                    if pd_[e] == 0:
+                        g -= ledger_w[e]
+                gain_arr[v] = int(g)
+                elig[ecount] = v
+                ecount += 1
         perf.vertices_seeded += ecount
 
         if cfg.clip:
@@ -766,8 +914,23 @@ class FMEngine:
             dist_log,
             mcount,
         )
-        for i in range(mcount - 1, best_k - 1, -1):
-            partition.move(move_log[i])
+        if snap and mcount - best_k > best_k + sc.snap_break_even:
+            # Restore the pre-pass state wholesale and replay only the
+            # kept prefix.  Everything restored or replayed is integer
+            # (assignment, pin counts, integral weights, exact cut
+            # ledger), so the result is bit-identical to the reverse
+            # rollback below — only cheaper when the suffix dominates.
+            assign[:] = sc.snap_assign
+            pins0[:] = sc.snap_pins0
+            pins1[:] = sc.snap_pins1
+            pw[0] = snap_pw0
+            pw[1] = snap_pw1
+            partition.cut = cut_before
+            for i in range(best_k):
+                partition.move(move_log[i])
+        else:
+            for i in range(mcount - 1, best_k - 1, -1):
+                partition.move(move_log[i])
 
         perf.selects += n_selects
         perf.gain_updates += n_updates

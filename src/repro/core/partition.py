@@ -32,6 +32,79 @@ from typing import List, Optional, Sequence
 from repro.core.balance import BalanceConstraint
 from repro.hypergraph.hypergraph import Hypergraph
 
+try:  # vectorized construction fast path (optional dependency)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+
+class _FastStatics:
+    """Per-hypergraph invariants for :meth:`Partition2.fast`.
+
+    Everything ``Partition2.__init__`` derives from the hypergraph alone
+    — shared (read-only) weight lists, the integral-regime flag, and the
+    numpy incidence/weight arrays driving the vectorized pin-count and
+    cut construction.  One instance serves every partition of the same
+    hypergraph.
+    """
+
+    __slots__ = (
+        "net_w",
+        "vw",
+        "net_pins_np",
+        "net_of_pin",
+        "net_size_np",
+        "net_w_np",
+        "vw_np",
+        "total_w",
+    )
+
+    def __init__(self, hg: Hypergraph) -> None:
+        m = hg.num_nets
+        raw_w = [hg.net_weight(e) for e in hg.nets()]
+        vw = [hg.vertex_weight(v) for v in hg.vertices()]
+        if not all(w.is_integer() for w in raw_w):
+            raise ValueError("non-integral net weights")
+        if not all(w == int(w) for w in vw):
+            raise ValueError("non-integral vertex weights")
+        self.net_w: List[int] = [int(w) for w in raw_w]
+        self.vw: List[float] = vw
+        net_ptr, net_pins, _, _ = hg.raw_csr
+        ptr = _np.array(net_ptr, dtype=_np.int64)
+        self.net_pins_np = _np.array(net_pins, dtype=_np.int64)
+        self.net_size_np = _np.diff(ptr)
+        self.net_of_pin = _np.repeat(
+            _np.arange(m, dtype=_np.int64), self.net_size_np
+        )
+        self.net_w_np = _np.array(self.net_w, dtype=_np.int64)
+        self.vw_np = _np.array(vw, dtype=_np.float64)
+        self.total_w = float(self.vw_np.sum())
+
+
+#: id(hypergraph) -> (hypergraph, weight fingerprint, statics-or-None).
+#: Strong hypergraph references keep identity keys valid; the
+#: fingerprint invalidates entries on out-of-band weight mutation, and
+#: ``None`` caches "this hypergraph is not eligible" (non-integral
+#: weights) so the check is not repeated.
+_FAST_CACHE: dict = {}
+_FAST_CACHE_LIMIT = 64
+
+
+def _fast_statics(hg: Hypergraph) -> Optional[_FastStatics]:
+    key = id(hg)
+    fp = hg.weight_fingerprint()
+    entry = _FAST_CACHE.get(key)
+    if entry is not None and entry[0] is hg and entry[1] == fp:
+        return entry[2]
+    try:
+        statics: Optional[_FastStatics] = _FastStatics(hg)
+    except ValueError:
+        statics = None
+    if len(_FAST_CACHE) >= _FAST_CACHE_LIMIT:
+        _FAST_CACHE.clear()
+    _FAST_CACHE[key] = (hg, fp, statics)
+    return statics
+
 
 class Partition2:
     """A mutable 2-way partition of a hypergraph.
@@ -132,6 +205,68 @@ class Partition2:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @classmethod
+    def fast(
+        cls,
+        hypergraph: Hypergraph,
+        assignment: Sequence[int],
+        fixed: Optional[Sequence[bool]] = None,
+    ) -> "Partition2":
+        """Construct with vectorized pin counting (bit-identical state).
+
+        In the all-integral regime (net *and* vertex weights — every
+        real netlist), pin counts, part weights and the cut are exact
+        integers whose values do not depend on summation order, so they
+        can be built with numpy instead of Python loops; the shared
+        per-hypergraph weight lists are reused instead of rebuilt.  The
+        multilevel refiner constructs one partition per level per start,
+        which makes this ~10x construction saving a measurable slice of
+        a pooled multistart run.
+
+        Falls back to the plain constructor — identical behavior,
+        including error messages — when numpy is unavailable, weights
+        are non-integral, or the assignment fails validation.
+        """
+        if _np is None:
+            return cls(hypergraph, assignment, fixed)
+        st = _fast_statics(hypergraph)
+        if st is None:
+            return cls(hypergraph, assignment, fixed)
+        n = hypergraph.num_vertices
+        if len(assignment) != n:
+            raise ValueError("assignment length mismatch")
+        a = _np.array(assignment, dtype=_np.int64)
+        if n and not _np.logical_or(a == 0, a == 1).all():
+            return cls(hypergraph, assignment, fixed)  # exact error path
+        self = cls.__new__(cls)
+        self.hypergraph = hypergraph
+        self.assignment = list(assignment)
+        if fixed is None:
+            self.fixed = [False] * n
+        else:
+            if len(fixed) != n:
+                raise ValueError("fixed length mismatch")
+            self.fixed = list(fixed)
+        (
+            self._net_ptr,
+            self._net_pins,
+            self._vtx_ptr,
+            self._vtx_nets,
+        ) = hypergraph.raw_csr
+        self.integral_nets = True
+        self._net_weights = st.net_w
+        self._vertex_weights = st.vw
+        w1 = float(a @ st.vw_np)
+        self.part_weights = [st.total_w - w1, w1]
+        m = hypergraph.num_nets
+        p1 = _np.bincount(
+            st.net_of_pin, weights=a[st.net_pins_np], minlength=m
+        ).astype(_np.int64)
+        p0 = st.net_size_np - p1
+        self.cut = int(st.net_w_np[(p1 > 0) & (p0 > 0)].sum())
+        self.pins_in_part = [p0.tolist(), p1.tolist()]
+        return self
+
     @staticmethod
     def random_balanced(
         hypergraph: Hypergraph,

@@ -54,6 +54,25 @@ class PerfCounters:
         Wall-clock seconds per pass.
     total_seconds:
         Wall-clock seconds for the whole ``refine()`` call.
+    coarsen_levels:
+        Coarsening levels built (matching + contraction executed).
+    coarsen_neighbors_touched:
+        Neighbour-connectivity accumulations performed by the matching
+        kernels (one per (vertex, eligible-net, other-pin) triple — the
+        dominant matching cost).
+    coarsen_nets_projected:
+        Fine nets projected onto clusters during contraction.
+    coarsen_nets_merged:
+        Projected nets merged into an identical earlier coarse net.
+    coarsen_nets_dropped:
+        Projected nets dropped for collapsing below two pins.
+    coarsen_seconds:
+        Wall-clock seconds spent building coarsening levels.
+    hierarchies_built:
+        Full coarsening hierarchies constructed from scratch.
+    hierarchies_reused:
+        Multistart/V-cycle starts served from an already-built pooled
+        hierarchy instead of re-coarsening.
     """
 
     passes: int = 0
@@ -67,6 +86,14 @@ class PerfCounters:
     noncritical_net_skips: int = 0
     pass_seconds: List[float] = field(default_factory=list)
     total_seconds: float = 0.0
+    coarsen_levels: int = 0
+    coarsen_neighbors_touched: int = 0
+    coarsen_nets_projected: int = 0
+    coarsen_nets_merged: int = 0
+    coarsen_nets_dropped: int = 0
+    coarsen_seconds: float = 0.0
+    hierarchies_built: int = 0
+    hierarchies_reused: int = 0
 
     # ------------------------------------------------------------------
     def merge(self, other: "PerfCounters") -> None:
@@ -84,6 +111,14 @@ class PerfCounters:
         self.noncritical_net_skips += other.noncritical_net_skips
         self.pass_seconds.extend(other.pass_seconds)
         self.total_seconds += other.total_seconds
+        self.coarsen_levels += other.coarsen_levels
+        self.coarsen_neighbors_touched += other.coarsen_neighbors_touched
+        self.coarsen_nets_projected += other.coarsen_nets_projected
+        self.coarsen_nets_merged += other.coarsen_nets_merged
+        self.coarsen_nets_dropped += other.coarsen_nets_dropped
+        self.coarsen_seconds += other.coarsen_seconds
+        self.hierarchies_built += other.hierarchies_built
+        self.hierarchies_reused += other.hierarchies_reused
 
     @property
     def moves_per_second(self) -> float:
@@ -108,6 +143,14 @@ class PerfCounters:
             "pass_seconds": list(self.pass_seconds),
             "total_seconds": self.total_seconds,
             "moves_per_second": self.moves_per_second,
+            "coarsen_levels": self.coarsen_levels,
+            "coarsen_neighbors_touched": self.coarsen_neighbors_touched,
+            "coarsen_nets_projected": self.coarsen_nets_projected,
+            "coarsen_nets_merged": self.coarsen_nets_merged,
+            "coarsen_nets_dropped": self.coarsen_nets_dropped,
+            "coarsen_seconds": self.coarsen_seconds,
+            "hierarchies_built": self.hierarchies_built,
+            "hierarchies_reused": self.hierarchies_reused,
         }
 
     def summary(self) -> str:

@@ -114,7 +114,13 @@ class HypergraphBuilder:
         )
 
     def build(self) -> Hypergraph:
-        """Produce the immutable hypergraph."""
+        """Produce the immutable hypergraph.
+
+        Pins and weights were validated (and pins de-duplicated) at add
+        time, so the builder assembles flat CSR arrays and takes the
+        trusted :meth:`Hypergraph.from_csr` path — no second validation
+        pass over the whole netlist.
+        """
         if self._drop_small_nets:
             kept = [
                 (pins, w, nm)
@@ -125,11 +131,17 @@ class HypergraphBuilder:
             ]
         else:
             kept = list(zip(self._nets, self._net_weights, self._net_names))
-        return Hypergraph(
-            [pins for pins, _, _ in kept],
+        net_ptr = [0] * (len(kept) + 1)
+        flat_pins: List[int] = []
+        for e, (pins, _, _) in enumerate(kept):
+            flat_pins.extend(pins)
+            net_ptr[e + 1] = len(flat_pins)
+        return Hypergraph.from_csr(
+            net_ptr,
+            flat_pins,
             num_vertices=len(self._vertex_names),
-            vertex_weights=self._vertex_weights,
-            net_weights=[w for _, w, _ in kept],
-            vertex_names=self._vertex_names,
+            vertex_weights=list(self._vertex_weights),
+            net_weights=[float(w) for _, w, _ in kept],
+            vertex_names=list(self._vertex_names),
             net_names=[nm for _, _, nm in kept],
         )

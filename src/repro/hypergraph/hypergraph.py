@@ -115,23 +115,92 @@ class Hypergraph:
         if self._net_names and len(self._net_names) != self._num_nets:
             raise ValueError("net_names length mismatch")
 
-        # Build the transposed incidence (vertex -> nets) by counting sort.
-        vtx_ptr = [0] * (num_vertices + 1)
-        for v in flat_pins:
-            vtx_ptr[v + 1] += 1
-        for v in range(num_vertices):
-            vtx_ptr[v + 1] += vtx_ptr[v]
-        vtx_nets = [0] * len(flat_pins)
-        cursor = list(vtx_ptr)
-        for e in range(self._num_nets):
-            for i in range(net_ptr[e], net_ptr[e + 1]):
-                v = flat_pins[i]
-                vtx_nets[cursor[v]] = e
-                cursor[v] += 1
-        self._vtx_ptr = vtx_ptr
-        self._vtx_nets = vtx_nets
+        self._vtx_ptr, self._vtx_nets = _build_transpose(
+            num_vertices, self._num_nets, net_ptr, flat_pins
+        )
 
         self._total_vertex_weight = float(sum(self._vertex_weights))
+
+    # ------------------------------------------------------------------
+    # Trusted construction from flat CSR (kernel fast path)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(
+        cls,
+        net_ptr: List[int],
+        net_pins: List[int],
+        num_vertices: int,
+        vertex_weights: List[float],
+        net_weights: List[float],
+        validate: bool = False,
+        vertex_names: Optional[List[str]] = None,
+        net_names: Optional[List[str]] = None,
+    ) -> "Hypergraph":
+        """Build a hypergraph directly from flat CSR arrays.
+
+        This is the fast path for kernel-built hypergraphs (the coarsening
+        kernel, the netlist builder): the caller *transfers ownership* of
+        the four argument lists, which are adopted without copying, and —
+        unless ``validate`` is set — without re-validation, on the
+        contract that pins are in range and duplicate-free within each
+        net, weights are non-negative floats of the right length, and
+        ``net_ptr`` is a proper monotone prefix array.
+
+        ``validate=True`` applies the same checks as the list-of-lists
+        constructor (useful when adopting CSR data of uncertain origin);
+        it still avoids the per-net Python list materialization.
+        """
+        num_nets = len(net_ptr) - 1
+        if validate:
+            if num_vertices < 0:
+                raise ValueError("num_vertices must be non-negative")
+            if num_nets < 0 or net_ptr[0] != 0 or net_ptr[-1] != len(net_pins):
+                raise ValueError("net_ptr is not a valid prefix array")
+            stamp = [-1] * num_vertices
+            for e in range(num_nets):
+                lo, hi = net_ptr[e], net_ptr[e + 1]
+                if hi < lo:
+                    raise ValueError("net_ptr is not monotone")
+                for i in range(lo, hi):
+                    v = net_pins[i]
+                    if not 0 <= v < num_vertices:
+                        raise ValueError(
+                            f"net {e} references vertex {v} outside "
+                            f"[0, {num_vertices})"
+                        )
+                    if stamp[v] == e:
+                        raise ValueError(f"net {e} has duplicate pin {v}")
+                    stamp[v] = e
+            if len(vertex_weights) != num_vertices:
+                raise ValueError("vertex_weights length mismatch")
+            if len(net_weights) != num_nets:
+                raise ValueError("net_weights length mismatch")
+            vertex_weights = [float(w) for w in vertex_weights]
+            net_weights = [float(w) for w in net_weights]
+            for v, w in enumerate(vertex_weights):
+                if w < 0:
+                    raise ValueError(f"vertex {v} has negative weight {w}")
+            for e, w in enumerate(net_weights):
+                if w < 0:
+                    raise ValueError(f"net {e} has negative weight {w}")
+            if vertex_names is not None and len(vertex_names) != num_vertices:
+                raise ValueError("vertex_names length mismatch")
+            if net_names is not None and len(net_names) != num_nets:
+                raise ValueError("net_names length mismatch")
+        hg = object.__new__(cls)
+        hg._num_vertices = num_vertices
+        hg._num_nets = num_nets
+        hg._net_ptr = net_ptr
+        hg._net_pins = net_pins
+        hg._vertex_weights = vertex_weights
+        hg._net_weights = net_weights
+        hg._vertex_names = vertex_names
+        hg._net_names = net_names
+        hg._vtx_ptr, hg._vtx_nets = _build_transpose(
+            num_vertices, num_nets, net_ptr, net_pins
+        )
+        hg._total_vertex_weight = float(sum(vertex_weights))
+        return hg
 
     # ------------------------------------------------------------------
     # Size accessors
@@ -340,3 +409,25 @@ class Hypergraph:
             f"Hypergraph(|V|={self._num_vertices}, |E|={self._num_nets}, "
             f"pins={self.num_pins}, area={self._total_vertex_weight:g})"
         )
+
+
+def _build_transpose(
+    num_vertices: int,
+    num_nets: int,
+    net_ptr: List[int],
+    flat_pins: List[int],
+) -> Tuple[List[int], List[int]]:
+    """Vertex -> nets CSR from the net -> pins CSR, by counting sort."""
+    vtx_ptr = [0] * (num_vertices + 1)
+    for v in flat_pins:
+        vtx_ptr[v + 1] += 1
+    for v in range(num_vertices):
+        vtx_ptr[v + 1] += vtx_ptr[v]
+    vtx_nets = [0] * len(flat_pins)
+    cursor = list(vtx_ptr)
+    for e in range(num_nets):
+        for i in range(net_ptr[e], net_ptr[e + 1]):
+            v = flat_pins[i]
+            vtx_nets[cursor[v]] = e
+            cursor[v] += 1
+    return vtx_ptr, vtx_nets

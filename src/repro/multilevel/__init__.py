@@ -11,17 +11,29 @@ from repro.multilevel.matching import (
     restricted_matching,
 )
 from repro.multilevel.mlpart import MLConfig, MLPartitioner
+from repro.multilevel.pool import (
+    Hierarchy,
+    HierarchyPool,
+    build_hierarchy,
+    hierarchy_seed,
+    run_multistart_pooled,
+)
 from repro.multilevel.shmetis import ShmetisResult, shmetis, ubfactor_to_tolerance
 
 __all__ = [
     "CoarseLevel",
+    "Hierarchy",
+    "HierarchyPool",
     "MLConfig",
     "MLPartitioner",
+    "build_hierarchy",
     "coarsen",
     "first_choice_clustering",
     "heavy_edge_matching",
+    "hierarchy_seed",
     "hyperedge_coarsening",
     "restricted_matching",
+    "run_multistart_pooled",
     "ShmetisResult",
     "shmetis",
     "ubfactor_to_tolerance",

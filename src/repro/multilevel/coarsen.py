@@ -6,14 +6,36 @@ area.  Nets project onto clusters with duplicate pins merged; nets that
 collapse to fewer than two pins disappear, and *identical* coarse nets
 are merged with their weights summed (the standard hMetis optimization —
 it keeps gain magnitudes honest across levels).
+
+**Kernel engineering.**  The seed implementation renumbered clusters
+through a dict, deduped each net's projected pins through a set, and
+merged identical nets through a dict of pin tuples.  This rewrite keeps
+the exact same output — same coarse vertex numbering (first-encounter
+order), same net order (first occurrence of each distinct coarse net),
+same float weight accumulation order — but computes it on flat arrays:
+
+* cluster renumbering via an epoch-stamped remap array (dict only when
+  ids are sparse, i.e. beyond ``2n``),
+* per-net pin dedup via an epoch-stamped buffer (no set allocation),
+* identical-net merging via one stable sort of the projected nets by
+  pin-tuple key: stability makes the group representative the smallest
+  original net id, which is precisely the seed dict's first-occurrence
+  order, and ascending original ids within a group reproduce the seed's
+  weight accumulation order bit for bit,
+* coarse CSR assembled flat and adopted by the trusted
+  :meth:`Hypergraph.from_csr` fast path — no re-validation of pins the
+  kernel just constructed.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.perf import PerfCounters
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.multilevel.matching import _WS
 
 
 @dataclass
@@ -35,60 +57,159 @@ class CoarseLevel:
     cluster_of: List[int]
 
     def project_assignment(self, coarse_assignment: List[int]) -> List[int]:
-        """Lift a coarse assignment to the fine hypergraph."""
+        """Lift a coarse assignment to the fine hypergraph (fresh list)."""
         return [coarse_assignment[self.cluster_of[v]] for v in
                 range(self.fine.num_vertices)]
 
+    def project_assignment_into(
+        self, coarse_assignment: List[int], out: List[int]
+    ) -> List[int]:
+        """Lift a coarse assignment into ``out`` (no allocation).
 
-def coarsen(hypergraph: Hypergraph, cluster_of: List[int]) -> CoarseLevel:
+        ``out`` must have length ``fine.num_vertices``; it is returned
+        for convenience.  Uncoarsening projects once per level per
+        start, so the multilevel refiner reuses one buffer per level
+        size instead of building a fresh list each time.
+        """
+        cluster_of = self.cluster_of
+        if len(out) != len(cluster_of):
+            raise ValueError("projection buffer length mismatch")
+        for v in range(len(cluster_of)):
+            out[v] = coarse_assignment[cluster_of[v]]
+        return out
+
+
+def coarsen(
+    hypergraph: Hypergraph,
+    cluster_of: List[int],
+    perf: Optional[PerfCounters] = None,
+) -> CoarseLevel:
     """Contract ``hypergraph`` according to ``cluster_of``.
 
     Cluster ids may be arbitrary non-negative integers; they are
     renumbered densely.  Raises ``ValueError`` on negative ids or a map
     of the wrong length.
     """
+    t0 = time.perf_counter() if perf is not None else 0.0
     n = hypergraph.num_vertices
     if len(cluster_of) != n:
         raise ValueError("cluster_of length mismatch")
+    net_ptr, net_pins, _, _ = hypergraph.raw_csr
+    vwt = hypergraph._vertex_weights
+    net_weights = hypergraph._net_weights
+    ws = _WS
 
-    dense: Dict[int, int] = {}
+    # ----- dense renumbering in first-encounter order -----------------
     mapped = [0] * n
-    for v in range(n):
-        c = cluster_of[v]
-        if c < 0:
-            raise ValueError(f"vertex {v} has negative cluster id {c}")
-        d = dense.get(c)
-        if d is None:
-            d = len(dense)
-            dense[c] = d
-        mapped[v] = d
-    num_coarse = len(dense)
+    num_coarse = 0
+    max_id = max(cluster_of, default=-1)
+    if max_id >= 0 and max_id < 2 * n:
+        # Dense-ish ids (the matching kernels guarantee ids < n): use the
+        # epoch-stamped remap array.
+        ws.ensure_remap(max_id + 1)
+        remap, stamp2 = ws.remap, ws.stamp2
+        epoch2 = ws.bump2()
+        for v in range(n):
+            c = cluster_of[v]
+            if c < 0:
+                raise ValueError(f"vertex {v} has negative cluster id {c}")
+            if stamp2[c] == epoch2:
+                mapped[v] = remap[c]
+            else:
+                stamp2[c] = epoch2
+                remap[c] = num_coarse
+                mapped[v] = num_coarse
+                num_coarse += 1
+    else:
+        # Sparse ids: fall back to a dict (identical first-encounter
+        # numbering, just a different container).
+        dense: Dict[int, int] = {}
+        for v in range(n):
+            c = cluster_of[v]
+            if c < 0:
+                raise ValueError(f"vertex {v} has negative cluster id {c}")
+            d = dense.get(c)
+            if d is None:
+                d = len(dense)
+                dense[c] = d
+            mapped[v] = d
+        num_coarse = len(dense)
 
     weights = [0.0] * num_coarse
     for v in range(n):
-        weights[mapped[v]] += hypergraph.vertex_weight(v)
+        weights[mapped[v]] += vwt[v]
 
-    # Project nets; merge identical coarse nets by pin-tuple key.
-    net_index: Dict[Tuple[int, ...], int] = {}
-    coarse_nets: List[List[int]] = []
-    coarse_net_weights: List[float] = []
-    for e in range(hypergraph.num_nets):
-        pins = sorted({mapped[v] for v in hypergraph.pins_of(e)})
-        if len(pins) < 2:
+    # ----- project nets, dedup pins, merge identical nets -------------
+    # Stage 1: project every net through the cluster map, deduping pins
+    # with the stamped buffer; keep (sorted pin tuple, original net id).
+    m = hypergraph.num_nets
+    ws.ensure(num_coarse, 0)
+    stamp, nbrs = ws.stamp, ws.nbrs
+    keys: List[Tuple[int, ...]] = []
+    orig: List[int] = []
+    keys_append = keys.append
+    orig_append = orig.append
+    dropped = 0
+    epoch = ws.epoch
+    for e in range(m):
+        epoch += 1
+        cnt = 0
+        for i in range(net_ptr[e], net_ptr[e + 1]):
+            c = mapped[net_pins[i]]
+            if stamp[c] != epoch:
+                stamp[c] = epoch
+                nbrs[cnt] = c
+                cnt += 1
+        if cnt < 2:
+            dropped += 1
             continue
-        key = tuple(pins)
-        idx = net_index.get(key)
-        if idx is None:
-            net_index[key] = len(coarse_nets)
-            coarse_nets.append(pins)
-            coarse_net_weights.append(hypergraph.net_weight(e))
-        else:
-            coarse_net_weights[idx] += hypergraph.net_weight(e)
+        pins = nbrs[:cnt]
+        pins.sort()
+        keys_append(tuple(pins))
+        orig_append(e)
+    ws.epoch = epoch
 
-    coarse = Hypergraph(
-        coarse_nets,
+    # Stage 2: one stable sort groups identical nets.  Stability means
+    # equal keys keep ascending original net order, so the group head is
+    # the seed dict's first occurrence and weights accumulate in the
+    # seed's order.  Groups are emitted in order of their head's
+    # original net id — the seed's coarse net order.
+    kept = len(keys)
+    by_key = sorted(range(kept), key=keys.__getitem__)
+    groups: List[Tuple[int, List[int]]] = []  # (head orig id, member idxs)
+    i = 0
+    while i < kept:
+        j = i + 1
+        k = keys[by_key[i]]
+        while j < kept and keys[by_key[j]] == k:
+            j += 1
+        groups.append((orig[by_key[i]], by_key[i:j]))
+        i = j
+    groups.sort()
+
+    coarse_net_ptr = [0] * (len(groups) + 1)
+    coarse_pins: List[int] = []
+    coarse_net_weights: List[float] = []
+    merged = 0
+    for g, (_, members) in enumerate(groups):
+        coarse_pins.extend(keys[members[0]])
+        coarse_net_ptr[g + 1] = len(coarse_pins)
+        w = net_weights[orig[members[0]]]
+        for t in range(1, len(members)):
+            w += net_weights[orig[members[t]]]
+            merged += 1
+        coarse_net_weights.append(w)
+
+    coarse = Hypergraph.from_csr(
+        coarse_net_ptr,
+        coarse_pins,
         num_vertices=num_coarse,
         vertex_weights=weights,
         net_weights=coarse_net_weights,
     )
+    if perf is not None:
+        perf.coarsen_nets_projected += m
+        perf.coarsen_nets_merged += merged
+        perf.coarsen_nets_dropped += dropped
+        perf.coarsen_seconds += time.perf_counter() - t0
     return CoarseLevel(fine=hypergraph, coarse=coarse, cluster_of=mapped)

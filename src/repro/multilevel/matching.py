@@ -1,4 +1,4 @@
-"""Clustering/matching schemes for multilevel coarsening.
+"""Clustering/matching schemes for multilevel coarsening (kernel).
 
 Two standard schemes:
 
@@ -12,32 +12,147 @@ Two standard schemes:
 Both respect a cluster-weight cap so coarsening cannot manufacture
 unbalanceable coarse vertices, and both skip very large nets (clock-like
 nets carry no clustering signal and would make matching quadratic).
+
+**Kernel engineering.**  The original (seed) implementation built a
+fresh ``dict`` of neighbour connectivities for every vertex — one hash
+insert per (vertex, net, other-pin) triple, the dominant coarsening
+cost.  This module is the allocation-free rewrite: neighbour
+connectivities accumulate into flat *epoch-stamped* scratch arrays
+(:class:`_Workspace`) that are reused across vertices, levels, and
+hypergraphs, with per-net connectivity scores precomputed once per call.
+The scratch is a module-level singleton sized to the largest instance
+seen, so repeated coarsening (multistart pools, V-cycles) touches no
+allocator at all.
+
+The rewrite is *behaviourally identical* to the frozen seed oracle
+(``repro.multilevel._seed_coarsen``): identical cluster maps, identical
+RNG stream consumption (one ``rng.shuffle`` per call), identical float
+accumulation order, and identical tie-breaking — including the subtle
+invariant that a zero-weight eligible net still inserts its pins into
+the neighbour set (the insertion *order* side effect the seed dict had).
+``tests/test_coarsen_equivalence.py`` enforces all of this.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import List, Optional
 
+from repro.core.perf import PerfCounters
 from repro.hypergraph.hypergraph import Hypergraph
 
 
-def _connectivity_to_neighbors(
-    hypergraph: Hypergraph,
-    v: int,
-    max_net_size: int,
-) -> Dict[int, float]:
-    """Map of neighbour -> summed connectivity weight for vertex ``v``."""
-    conn: Dict[int, float] = {}
-    for e in hypergraph.nets_of(v):
-        size = hypergraph.net_size(e)
+class _Workspace:
+    """Flat epoch-stamped scratch shared by the matching/contraction kernels.
+
+    One module-level instance backs every call: arrays grow monotonically
+    to the largest (vertices, nets) seen and are never cleared — validity
+    of an entry is ``stamp[i] == epoch``, and :meth:`bump` starting a new
+    epoch invalidates everything in O(1).  Newly grown regions carry
+    stamp 0, which is always stale because the epoch counter starts at 1
+    and only increases.
+
+    The arrays:
+
+    * ``conn`` / ``stamp`` / ``nbrs`` — neighbour-connectivity
+      accumulator: ``conn[u]`` is valid iff ``stamp[u] == epoch``;
+      ``nbrs[:k]`` lists the stamped neighbours in first-encounter order
+      (the seed dict's iteration order).
+    * ``score`` — per-net connectivity score ``w/(size-1)``, with -1.0
+      marking nets ineligible for matching (size < 2 or > max_net_size).
+      Recomputed per call: eligibility depends on ``max_net_size``.
+    * ``remap`` (with ``stamp2``) — cluster-id renumbering scratch for
+      :func:`repro.multilevel.coarsen.coarsen`.
+    * ``pin_buf`` — per-net projected-pin dedup buffer (size ≥ the
+      largest net).
+    """
+
+    __slots__ = (
+        "conn",
+        "stamp",
+        "nbrs",
+        "score",
+        "remap",
+        "stamp2",
+        "pin_buf",
+        "epoch",
+        "epoch2",
+    )
+
+    def __init__(self) -> None:
+        self.conn: List[float] = []
+        self.stamp: List[int] = []
+        self.nbrs: List[int] = []
+        self.score: List[float] = []
+        self.remap: List[int] = []
+        self.stamp2: List[int] = []
+        self.pin_buf: List[int] = []
+        self.epoch = 0
+        self.epoch2 = 0
+
+    def ensure(self, num_vertices: int, num_nets: int) -> None:
+        """Grow the per-vertex / per-net arrays to the required size."""
+        short = num_vertices - len(self.conn)
+        if short > 0:
+            self.conn.extend([0.0] * short)
+            self.stamp.extend([0] * short)
+            self.nbrs.extend([0] * short)
+        short = num_nets - len(self.score)
+        if short > 0:
+            self.score.extend([0.0] * short)
+
+    def ensure_remap(self, size: int) -> None:
+        """Grow the cluster-renumbering arrays to ``size`` entries."""
+        short = size - len(self.remap)
+        if short > 0:
+            self.remap.extend([0] * short)
+            self.stamp2.extend([0] * short)
+
+    def ensure_pin_buf(self, size: int) -> None:
+        """Grow the projected-pin buffer to ``size`` entries."""
+        short = size - len(self.pin_buf)
+        if short > 0:
+            self.pin_buf.extend([0] * short)
+
+    def bump(self) -> int:
+        """Start a new neighbour-accumulator epoch; returns it."""
+        self.epoch += 1
+        return self.epoch
+
+    def bump2(self) -> int:
+        """Start a new renumbering epoch; returns it."""
+        self.epoch2 += 1
+        return self.epoch2
+
+
+#: The shared kernel scratch.  Module-level rather than per-hypergraph:
+#: capacity-keyed reuse needs no invalidation (no stale identity/weight
+#: hazards), survives across hierarchy levels and pooled multistart
+#: hierarchies, and keeps ``Hypergraph`` free of unpicklable extras (the
+#: orchestrator ships hypergraphs to worker processes).
+_WS = _Workspace()
+
+
+def _net_scores(
+    hypergraph: Hypergraph, max_net_size: int, ws: _Workspace
+) -> List[float]:
+    """Fill ``ws.score`` with per-net connectivity scores.
+
+    ``w/(size-1)`` for matchable nets, -1.0 for ineligible ones.  A
+    zero-weight eligible net scores 0.0 — it cannot win a comparison but
+    must still enter its pins into the neighbour set, because the seed
+    semantics let such nets extend the candidate order.
+    """
+    net_ptr = hypergraph.raw_csr[0]
+    net_weights = hypergraph._net_weights
+    score = ws.score
+    for e in range(hypergraph.num_nets):
+        size = net_ptr[e + 1] - net_ptr[e]
         if size < 2 or size > max_net_size:
-            continue
-        w = hypergraph.net_weight(e) / (size - 1)
-        for u in hypergraph.pins_of(e):
-            if u != v:
-                conn[u] = conn.get(u, 0.0) + w
-    return conn
+            score[e] = -1.0
+        else:
+            score[e] = net_weights[e] / (size - 1)
+    return score
 
 
 def heavy_edge_matching(
@@ -46,6 +161,7 @@ def heavy_edge_matching(
     max_cluster_weight: Optional[float] = None,
     max_net_size: int = 40,
     fixed_parts: Optional[List[Optional[int]]] = None,
+    perf: Optional[PerfCounters] = None,
 ) -> List[int]:
     """Heavy-edge matching; returns a cluster id per vertex.
 
@@ -59,23 +175,54 @@ def heavy_edge_matching(
     n = hypergraph.num_vertices
     if max_cluster_weight is None:
         max_cluster_weight = _default_cluster_cap(hypergraph)
+    net_ptr, net_pins, vtx_ptr, vtx_nets = hypergraph.raw_csr
+    vwt = hypergraph._vertex_weights
+    ws = _WS
+    ws.ensure(n, hypergraph.num_nets)
+    score = _net_scores(hypergraph, max_net_size, ws)
+    conn, stamp, nbrs = ws.conn, ws.stamp, ws.nbrs
+
     cluster = [-1] * n
     order = list(range(n))
     rng.shuffle(order)
     next_id = 0
+    touched = 0
     for v in order:
         if cluster[v] != -1:
             continue
+        epoch = ws.bump()
+        ncount = 0
+        for i in range(vtx_ptr[v], vtx_ptr[v + 1]):
+            e = vtx_nets[i]
+            w = score[e]
+            if w < 0.0:
+                continue
+            lo = net_ptr[e]
+            hi = net_ptr[e + 1]
+            touched += hi - lo - 1
+            for j in range(lo, hi):
+                u = net_pins[j]
+                if u == v:
+                    continue
+                if stamp[u] == epoch:
+                    conn[u] += w
+                else:
+                    stamp[u] = epoch
+                    conn[u] = w
+                    nbrs[ncount] = u
+                    ncount += 1
         best_u = -1
         best_c = 0.0
-        wv = hypergraph.vertex_weight(v)
-        for u, c in _connectivity_to_neighbors(hypergraph, v, max_net_size).items():
+        wv = vwt[v]
+        for t in range(ncount):
+            u = nbrs[t]
             if cluster[u] != -1:
                 continue
-            if wv + hypergraph.vertex_weight(u) > max_cluster_weight:
+            if wv + vwt[u] > max_cluster_weight:
                 continue
             if fixed_parts is not None and _fixed_conflict(fixed_parts, v, u):
                 continue
+            c = conn[u]
             if c > best_c:
                 best_c = c
                 best_u = u
@@ -83,6 +230,8 @@ def heavy_edge_matching(
         if best_u != -1:
             cluster[best_u] = next_id
         next_id += 1
+    if perf is not None:
+        perf.coarsen_neighbors_touched += touched
     return cluster
 
 
@@ -92,6 +241,7 @@ def first_choice_clustering(
     max_cluster_weight: Optional[float] = None,
     max_net_size: int = 40,
     fixed_parts: Optional[List[Optional[int]]] = None,
+    perf: Optional[PerfCounters] = None,
 ) -> List[int]:
     """First-choice clustering; returns a cluster id per vertex.
 
@@ -102,19 +252,49 @@ def first_choice_clustering(
     n = hypergraph.num_vertices
     if max_cluster_weight is None:
         max_cluster_weight = _default_cluster_cap(hypergraph)
+    net_ptr, net_pins, vtx_ptr, vtx_nets = hypergraph.raw_csr
+    vwt = hypergraph._vertex_weights
+    ws = _WS
+    ws.ensure(n, hypergraph.num_nets)
+    score = _net_scores(hypergraph, max_net_size, ws)
+    conn, stamp, nbrs = ws.conn, ws.stamp, ws.nbrs
+
     cluster = [-1] * n
     cluster_weight: List[float] = []
     cluster_fixed: List[Optional[int]] = []
     order = list(range(n))
     rng.shuffle(order)
+    touched = 0
     for v in order:
         if cluster[v] != -1:
             continue
-        wv = hypergraph.vertex_weight(v)
+        epoch = ws.bump()
+        ncount = 0
+        for i in range(vtx_ptr[v], vtx_ptr[v + 1]):
+            e = vtx_nets[i]
+            w = score[e]
+            if w < 0.0:
+                continue
+            lo = net_ptr[e]
+            hi = net_ptr[e + 1]
+            touched += hi - lo - 1
+            for j in range(lo, hi):
+                u = net_pins[j]
+                if u == v:
+                    continue
+                if stamp[u] == epoch:
+                    conn[u] += w
+                else:
+                    stamp[u] = epoch
+                    conn[u] = w
+                    nbrs[ncount] = u
+                    ncount += 1
+        wv = vwt[v]
         fv = fixed_parts[v] if fixed_parts is not None else None
         best_cluster = -1
         best_c = 0.0
-        for u, c in _connectivity_to_neighbors(hypergraph, v, max_net_size).items():
+        for t in range(ncount):
+            u = nbrs[t]
             cu = cluster[u]
             if cu == -1:
                 continue
@@ -123,6 +303,7 @@ def first_choice_clustering(
             cf = cluster_fixed[cu]
             if fv is not None and cf is not None and fv != cf:
                 continue
+            c = conn[u]
             if c > best_c:
                 best_c = c
                 best_cluster = cu
@@ -135,6 +316,8 @@ def first_choice_clustering(
             cluster_weight[best_cluster] += wv
             if fv is not None:
                 cluster_fixed[best_cluster] = fv
+    if perf is not None:
+        perf.coarsen_neighbors_touched += touched
     return cluster
 
 
@@ -144,6 +327,7 @@ def hyperedge_coarsening(
     max_cluster_weight: Optional[float] = None,
     max_net_size: int = 40,
     fixed_parts: Optional[List[Optional[int]]] = None,
+    perf: Optional[PerfCounters] = None,
 ) -> List[int]:
     """hMetis-style hyperedge coarsening (HEC); returns cluster ids.
 
@@ -158,36 +342,56 @@ def hyperedge_coarsening(
     n = hypergraph.num_vertices
     if max_cluster_weight is None:
         max_cluster_weight = _default_cluster_cap(hypergraph)
+    net_ptr, net_pins, _, _ = hypergraph.raw_csr
+    vwt = hypergraph._vertex_weights
+    net_weights = hypergraph._net_weights
     cluster = [-1] * n
     order = list(hypergraph.nets())
     rng.shuffle(order)
-    order.sort(
-        key=lambda e: (-hypergraph.net_weight(e), hypergraph.net_size(e))
-    )
+    order.sort(key=lambda e: (-net_weights[e], net_ptr[e + 1] - net_ptr[e]))
     next_id = 0
+    touched = 0
     for e in order:
-        size = hypergraph.net_size(e)
+        lo = net_ptr[e]
+        hi = net_ptr[e + 1]
+        size = hi - lo
         if size < 2 or size > max_net_size:
             continue
-        pins = hypergraph.pins_of(e)
-        if any(cluster[v] != -1 for v in pins):
+        touched += size
+        free = True
+        for i in range(lo, hi):
+            if cluster[net_pins[i]] != -1:
+                free = False
+                break
+        if not free:
             continue
-        total = sum(hypergraph.vertex_weight(v) for v in pins)
+        total = 0.0
+        for i in range(lo, hi):
+            total += vwt[net_pins[i]]
         if total > max_cluster_weight:
             continue
         if fixed_parts is not None:
-            sides = {
-                fixed_parts[v] for v in pins if fixed_parts[v] is not None
-            }
-            if len(sides) > 1:
+            side = None
+            conflict = False
+            for i in range(lo, hi):
+                fp = fixed_parts[net_pins[i]]
+                if fp is not None:
+                    if side is None:
+                        side = fp
+                    elif side != fp:
+                        conflict = True
+                        break
+            if conflict:
                 continue
-        for v in pins:
-            cluster[v] = next_id
+        for i in range(lo, hi):
+            cluster[net_pins[i]] = next_id
         next_id += 1
     for v in range(n):
         if cluster[v] == -1:
             cluster[v] = next_id
             next_id += 1
+    if perf is not None:
+        perf.coarsen_neighbors_touched += touched
     return cluster
 
 
@@ -197,6 +401,7 @@ def restricted_matching(
     rng: random.Random,
     max_cluster_weight: Optional[float] = None,
     max_net_size: int = 40,
+    perf: Optional[PerfCounters] = None,
 ) -> List[int]:
     """Partition-respecting matching for V-cycling (Karypis et al.).
 
@@ -207,21 +412,53 @@ def restricted_matching(
     n = hypergraph.num_vertices
     if max_cluster_weight is None:
         max_cluster_weight = _default_cluster_cap(hypergraph)
+    net_ptr, net_pins, vtx_ptr, vtx_nets = hypergraph.raw_csr
+    vwt = hypergraph._vertex_weights
+    ws = _WS
+    ws.ensure(n, hypergraph.num_nets)
+    score = _net_scores(hypergraph, max_net_size, ws)
+    conn, stamp, nbrs = ws.conn, ws.stamp, ws.nbrs
+
     cluster = [-1] * n
     order = list(range(n))
     rng.shuffle(order)
     next_id = 0
+    touched = 0
     for v in order:
         if cluster[v] != -1:
             continue
+        epoch = ws.bump()
+        ncount = 0
+        for i in range(vtx_ptr[v], vtx_ptr[v + 1]):
+            e = vtx_nets[i]
+            w = score[e]
+            if w < 0.0:
+                continue
+            lo = net_ptr[e]
+            hi = net_ptr[e + 1]
+            touched += hi - lo - 1
+            for j in range(lo, hi):
+                u = net_pins[j]
+                if u == v:
+                    continue
+                if stamp[u] == epoch:
+                    conn[u] += w
+                else:
+                    stamp[u] = epoch
+                    conn[u] = w
+                    nbrs[ncount] = u
+                    ncount += 1
         best_u = -1
         best_c = 0.0
-        wv = hypergraph.vertex_weight(v)
-        for u, c in _connectivity_to_neighbors(hypergraph, v, max_net_size).items():
-            if cluster[u] != -1 or assignment[u] != assignment[v]:
+        wv = vwt[v]
+        side = assignment[v]
+        for t in range(ncount):
+            u = nbrs[t]
+            if cluster[u] != -1 or assignment[u] != side:
                 continue
-            if wv + hypergraph.vertex_weight(u) > max_cluster_weight:
+            if wv + vwt[u] > max_cluster_weight:
                 continue
+            c = conn[u]
             if c > best_c:
                 best_c = c
                 best_u = u
@@ -229,6 +466,8 @@ def restricted_matching(
         if best_u != -1:
             cluster[best_u] = next_id
         next_id += 1
+    if perf is not None:
+        perf.coarsen_neighbors_touched += touched
     return cluster
 
 

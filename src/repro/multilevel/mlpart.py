@@ -16,6 +16,21 @@ The refinement engine is the same :class:`~repro.core.engine.FMEngine`
 as the flat partitioners, so Table 1's point — implicit flat-engine
 decisions remain visible inside a strong multilevel wrapper — holds by
 construction.
+
+**Hierarchy reuse.**  ``partition()`` accepts a precomputed
+:class:`~repro.multilevel.pool.Hierarchy`; multistart drivers pass
+pooled hierarchies (see :mod:`repro.multilevel.pool`) so K coarsening
+runs serve any number of starts.  When a hierarchy is supplied the
+per-start RNG feeds *only* initial partitioning and refinement, which is
+what makes a pooled run bit-identical to a serial run that rebuilds the
+same hierarchies from the same hierarchy seeds.
+
+**Oracle mode.**  ``MLPartitioner(oracle=True)`` routes every coarsening
+step through the frozen seed implementation
+(:mod:`repro.multilevel._seed_coarsen`), builds fresh engines with the
+seed engine's reverse rollback, and uncoarsens with freshly allocated
+projections — the faithful pre-kernel code path that ``repro bench ml``
+measures the kernels against.
 """
 
 from __future__ import annotations
@@ -23,8 +38,9 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core._seed_engine import SeedFMEngine
 from repro.core.balance import BalanceConstraint
 from repro.core.config import FMConfig
 from repro.core.engine import FMEngine
@@ -32,13 +48,10 @@ from repro.core.initial import generate_initial
 from repro.core.partition import Partition2
 from repro.core.partitioner import PartitionResult
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.multilevel import _seed_coarsen as _oracle
 from repro.multilevel.coarsen import CoarseLevel, coarsen
-from repro.multilevel.matching import (
-    first_choice_clustering,
-    heavy_edge_matching,
-    hyperedge_coarsening,
-    restricted_matching,
-)
+from repro.multilevel.matching import restricted_matching
+from repro.multilevel.pool import Hierarchy, build_hierarchy
 
 
 @dataclass(frozen=True)
@@ -86,7 +99,17 @@ class MLPartitioner:
     Satisfies the same ``partition(hypergraph, seed, fixed_parts)``
     protocol as :class:`~repro.core.partitioner.FMPartitioner`, so the
     evaluation machinery treats flat and multilevel heuristics
-    uniformly.
+    uniformly.  ``partition`` additionally accepts a precomputed
+    ``hierarchy`` for pooled multistart runs.
+
+    Parameters
+    ----------
+    config, tolerance, name:
+        As before (configuration, balance tolerance, report label).
+    oracle:
+        When True, run the frozen seed coarsening/rollback code paths
+        end to end (see module docstring).  The benchmark baseline;
+        never faster, always bit-equivalent.
     """
 
     def __init__(
@@ -94,9 +117,11 @@ class MLPartitioner:
         config: Optional[MLConfig] = None,
         tolerance: float = 0.02,
         name: Optional[str] = None,
+        oracle: bool = False,
     ) -> None:
         self.config = config if config is not None else MLConfig()
         self.tolerance = tolerance
+        self.oracle = oracle
         if self.config.clustering not in (
             "heavy_edge",
             "first_choice",
@@ -108,6 +133,60 @@ class MLPartitioner:
         #: Display name in experiment reports; override to label
         #: configurations distinctly.
         self.name = name if name is not None else self.config.describe()
+        # Engines cached across partition() calls (kernel mode only):
+        # their per-hypergraph kernel scratch then persists across the
+        # starts of a multistart run — every level of a pooled hierarchy
+        # hits warm scratch from start 2 on.  Balance and RNG are
+        # rebound per call; the engine reads both through ``self`` so
+        # rebinding is exact.
+        self._refine_engine: Optional[FMEngine] = None
+        self._init_engine: Optional[FMEngine] = None
+        # Uncoarsening projection buffers, one per level size.
+        self._proj_bufs: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _engines(self, balance: BalanceConstraint, rng: random.Random):
+        """(initial, refine) engines for one start.
+
+        Oracle mode constructs fresh frozen seed engines; kernel mode
+        rebinds the cached :class:`FMEngine` pair.
+        """
+        cfg = self.config
+        refine_cfg = replace(cfg.fm_config, max_passes=cfg.refine_passes)
+        if self.oracle:
+            # The fully frozen reference: the seed FM engine (the PR
+            # that introduced the flat FM kernel froze it for exactly
+            # this purpose), constructed fresh per start as the seed
+            # multilevel code did.  Bit-identical results to the kernel
+            # engines below — the equivalence suites assert it.
+            return (
+                SeedFMEngine(balance, cfg.fm_config, rng),
+                SeedFMEngine(balance, refine_cfg, rng),
+            )
+        if self._refine_engine is None:
+            self._init_engine = FMEngine(balance, cfg.fm_config, rng)
+            self._refine_engine = FMEngine(balance, refine_cfg, rng)
+        else:
+            self._init_engine.balance = balance
+            self._init_engine.rng = rng
+            self._refine_engine.balance = balance
+            self._refine_engine.rng = rng
+        return self._init_engine, self._refine_engine
+
+    def _project(self, level, assignment: List[int]) -> List[int]:
+        """Lift ``assignment`` through one level (buffered in kernel mode).
+
+        The buffer is safe to reuse because :class:`Partition2` copies
+        the assignment it is given.
+        """
+        if self.oracle:
+            return level.project_assignment(assignment)
+        n = level.fine.num_vertices
+        buf = self._proj_bufs.get(n)
+        if buf is None:
+            buf = [0] * n
+            self._proj_bufs[n] = buf
+        return level.project_assignment_into(assignment, buf)
 
     # ------------------------------------------------------------------
     def partition(
@@ -115,43 +194,66 @@ class MLPartitioner:
         hypergraph: Hypergraph,
         seed: int = 0,
         fixed_parts: Optional[Sequence[Optional[int]]] = None,
+        hierarchy: Optional[Hierarchy] = None,
     ) -> PartitionResult:
-        """One multilevel start (coarsen, initial, uncoarsen [+V-cycles])."""
+        """One multilevel start (coarsen, initial, uncoarsen [+V-cycles]).
+
+        When ``hierarchy`` is supplied (pooled multistart), coarsening
+        is skipped and the per-start RNG drives only initial
+        partitioning and refinement; the hierarchy must have been built
+        for this hypergraph, the same fixed assignment, and the same
+        coarsening implementation (oracle vs. kernel).
+        """
         start_time = time.perf_counter()
         rng = random.Random(seed)
         cfg = self.config
         balance = BalanceConstraint(hypergraph.total_vertex_weight, self.tolerance)
+        fixed = list(fixed_parts) if fixed_parts else None
 
-        levels, coarsest, coarsest_fixed = self._build_hierarchy(
-            hypergraph, rng, list(fixed_parts) if fixed_parts else None
+        if hierarchy is None:
+            hierarchy = build_hierarchy(
+                hypergraph, cfg, rng, fixed_parts=fixed, oracle=self.oracle
+            )
+        else:
+            if hierarchy.hypergraph is not hypergraph:
+                raise ValueError(
+                    "hierarchy was built for a different hypergraph"
+                )
+            if hierarchy.oracle != self.oracle:
+                raise ValueError(
+                    "hierarchy coarsening mode (oracle vs kernel) does not "
+                    "match this partitioner"
+                )
+            sig = tuple(fixed) if fixed is not None else None
+            if sig != hierarchy.fixed_signature:
+                raise ValueError(
+                    "hierarchy was built under different fixed_parts"
+                )
+        levels = hierarchy.levels
+        coarsest = hierarchy.coarsest
+        coarsest_fixed = hierarchy.coarsest_fixed
+
+        init_engine, refine_engine = self._engines(balance, rng)
+        part = self._initial_partition(
+            coarsest, balance, rng, coarsest_fixed, init_engine
         )
 
-        part = self._initial_partition(coarsest, balance, rng, coarsest_fixed)
-
-        # One refinement engine reused across all levels and V-cycles:
-        # its kernel scratch is keyed per hypergraph (identity + weight
-        # fingerprint), so repeated refines of the same level — e.g. the
-        # V-cycle rounds below — skip the invariant rebuild.  Behavior
-        # is unchanged: the engine carries no other cross-refine state.
-        refine_cfg = replace(cfg.fm_config, max_passes=cfg.refine_passes)
-        refine_engine = FMEngine(balance, refine_cfg, rng)
+        make_part = Partition2 if self.oracle else Partition2.fast
         assignment = part.assignment
         for level, level_fixed in reversed(levels):
-            assignment = level.project_assignment(assignment)
-            fine_part = Partition2(
+            assignment = self._project(level, assignment)
+            fine_part = make_part(
                 level.fine,
                 assignment,
-                fixed=[p is not None for p in level_fixed]
-                if level_fixed
-                else None,
+                [p is not None for p in level_fixed] if level_fixed else None,
             )
             refine_engine.refine(fine_part)
             assignment = fine_part.assignment
 
-        final = Partition2(
+        final = make_part(
             hypergraph,
             assignment,
-            fixed=[p is not None for p in fixed_parts] if fixed_parts else None,
+            [p is not None for p in fixed] if fixed else None,
         )
         for _ in range(cfg.vcycles):
             self._one_vcycle(final, balance, rng, refine_engine)
@@ -182,10 +284,7 @@ class MLPartitioner:
         start_time = time.perf_counter()
         rng = random.Random(seed)
         balance = BalanceConstraint(hypergraph.total_vertex_weight, self.tolerance)
-        refine_cfg = replace(
-            self.config.fm_config, max_passes=self.config.refine_passes
-        )
-        refine_engine = FMEngine(balance, refine_cfg, rng)
+        _, refine_engine = self._engines(balance, rng)
         part = Partition2(hypergraph, list(assignment))
         for _ in range(rounds):
             self._one_vcycle(part, balance, rng, refine_engine)
@@ -198,59 +297,16 @@ class MLPartitioner:
         )
 
     # ------------------------------------------------------------------
-    def _cluster(self, hg: Hypergraph, rng: random.Random, fixed):
-        if self.config.clustering == "first_choice":
-            return first_choice_clustering(hg, rng, fixed_parts=fixed)
-        if self.config.clustering == "hyperedge":
-            return hyperedge_coarsening(hg, rng, fixed_parts=fixed)
-        return heavy_edge_matching(hg, rng, fixed_parts=fixed)
-
-    def _build_hierarchy(self, hypergraph, rng, fixed_parts):
-        """Coarsen until small; returns (levels, coarsest, coarsest_fixed).
-
-        ``levels`` is a list of ``(CoarseLevel, fine_fixed_parts)`` from
-        finest to coarsest.
-        """
-        cfg = self.config
-        levels: List = []
-        hg = hypergraph
-        fixed = fixed_parts
-        while hg.num_vertices > cfg.coarsest_size:
-            cluster = self._cluster(hg, rng, fixed)
-            level = coarsen(hg, cluster)
-            if (
-                level.coarse.num_vertices
-                > hg.num_vertices / cfg.min_reduction
-            ):
-                break
-            coarse_fixed = self._project_fixed(level, fixed)
-            levels.append((level, fixed))
-            hg = level.coarse
-            fixed = coarse_fixed
-        return levels, hg, fixed
-
-    @staticmethod
-    def _project_fixed(level: CoarseLevel, fixed) -> Optional[List[Optional[int]]]:
-        if fixed is None:
-            return None
-        coarse_fixed: List[Optional[int]] = [None] * level.coarse.num_vertices
-        for v, side in enumerate(fixed):
-            if side is not None:
-                coarse_fixed[level.cluster_of[v]] = side
-        return coarse_fixed
-
     def _initial_partition(
         self,
         coarsest: Hypergraph,
         balance: BalanceConstraint,
         rng: random.Random,
         fixed,
+        engine: FMEngine,
     ) -> Partition2:
         cfg = self.config
-        init_cfg = self.config.fm_config
-        # All starts refine the same coarsest hypergraph, so one engine
-        # builds the kernel scratch once and reuses it per start.
-        engine = FMEngine(balance, init_cfg, rng)
+        init_cfg = cfg.fm_config
         best: Optional[Partition2] = None
         for _ in range(max(1, cfg.initial_starts)):
             part = generate_initial(
@@ -269,16 +325,29 @@ class MLPartitioner:
         rng: random.Random,
         engine: FMEngine,
     ) -> None:
-        """Restricted coarsening + refinement descent, in place."""
+        """Restricted coarsening + refinement descent, in place.
+
+        V-cycle coarsening depends on the current assignment, so it
+        cannot come from the hierarchy pool; it still uses the kernel
+        matching/contraction (or the oracle in oracle mode).
+        """
         cfg = self.config
+        if self.oracle:
+            match, contract = _oracle.seed_restricted_matching, _oracle.seed_coarsen
+            make_part = Partition2
+        else:
+            match, contract = restricted_matching, coarsen
+            make_part = Partition2.fast
         levels: List[CoarseLevel] = []
         fixed_per_level: List[List[bool]] = []
         hg = part.hypergraph
         assignment = list(part.assignment)
         fixed = list(part.fixed)
         while hg.num_vertices > cfg.coarsest_size:
-            cluster = restricted_matching(hg, assignment, rng)
-            level = coarsen(hg, cluster)
+            cluster = match(hg, assignment, rng)
+            level = contract(hg, cluster)
+            if level.coarse.num_vertices >= hg.num_vertices:
+                break  # stall guard: no progress at all
             if (
                 level.coarse.num_vertices
                 > hg.num_vertices / cfg.min_reduction
@@ -297,17 +366,17 @@ class MLPartitioner:
             assignment = coarse_assignment
             fixed = coarse_fixed
 
-        coarse_part = Partition2(hg, assignment, fixed)
+        coarse_part = make_part(hg, assignment, fixed)
         engine.refine(coarse_part)
         assignment = coarse_part.assignment
         for level, level_fixed in zip(reversed(levels), reversed(fixed_per_level)):
-            assignment = level.project_assignment(assignment)
-            fine_part = Partition2(level.fine, assignment, level_fixed)
+            assignment = self._project(level, assignment)
+            fine_part = make_part(level.fine, assignment, level_fixed)
             engine.refine(fine_part)
             assignment = fine_part.assignment
 
         # Write the improved assignment back into ``part``.
-        improved = Partition2(part.hypergraph, assignment, part.fixed)
+        improved = make_part(part.hypergraph, assignment, part.fixed)
         if improved.cut <= part.cut:
             part.assignment = improved.assignment
             part.part_weights = improved.part_weights

@@ -28,6 +28,7 @@ from repro.core.config import FMConfig
 from repro.core.kway import RecursiveBisection
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.multilevel.mlpart import MLConfig, MLPartitioner
+from repro.multilevel.pool import HierarchyPool
 
 
 @dataclass
@@ -81,10 +82,25 @@ def shmetis(
     engine = MLPartitioner(config, tolerance=tolerance)
 
     if k == 2:
+        # Starts draw coarsening hierarchies from a small seeded pool
+        # instead of re-coarsening per start (hierarchy j is built with
+        # hierarchy_seed(seed, j), so results do not depend on nruns for
+        # any common prefix of starts: start i always uses hierarchy
+        # i % min(nruns, 4)).
+        pool = HierarchyPool(
+            hypergraph,
+            config,
+            min(nruns, 4),
+            base_seed=seed,
+            fixed_parts=fixed_parts,
+        )
         best = None
         for i in range(nruns):
             result = engine.partition(
-                hypergraph, seed=seed + i, fixed_parts=fixed_parts
+                hypergraph,
+                seed=seed + i,
+                fixed_parts=fixed_parts,
+                hierarchy=pool.get(i),
             )
             if best is None or result.cut < best.cut:
                 best = result

@@ -1,0 +1,323 @@
+"""Tests for hierarchy pooling, stall guards, and the ML bench harness.
+
+The pooling contract (:mod:`repro.multilevel.pool`): coarsening
+randomness and refinement randomness are split into independent
+streams, so a pooled multistart is **bit-identical** to a serial run
+that rebuilds the same hierarchies from the same hierarchy seeds — and
+bit-identical to the frozen seed-oracle path, which is what turns the
+``repro bench ml`` timing into an apples-to-apples regression gate.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import FMConfig
+from repro.core.perf import PerfCounters
+from repro.hypergraph import Hypergraph
+from repro.instances import generate_circuit
+from repro.multilevel import (
+    HierarchyPool,
+    MLConfig,
+    MLPartitioner,
+    build_hierarchy,
+    hierarchy_seed,
+    run_multistart_pooled,
+    shmetis,
+)
+
+
+@pytest.fixture
+def hg():
+    return generate_circuit(300, seed=21)
+
+
+class TestHierarchySeed:
+    def test_deterministic_and_distinct(self):
+        assert hierarchy_seed(0, 0) == hierarchy_seed(0, 0)
+        seeds = {hierarchy_seed(b, j) for b in range(20) for j in range(8)}
+        assert len(seeds) == 160
+
+    def test_disjoint_from_start_seeds(self):
+        # Start seeds are base_seed + i for small i; hierarchy seeds must
+        # never collide with them for any realistic start count.
+        base = 0
+        start_seeds = {base + i for i in range(100_000)}
+        for j in range(8):
+            assert hierarchy_seed(base, j) not in start_seeds
+
+
+class TestBuildHierarchy:
+    def test_reaches_coarsest_size(self, hg):
+        cfg = MLConfig()
+        h = build_hierarchy(hg, cfg, random.Random(0))
+        assert h.coarsest.num_vertices <= cfg.coarsest_size
+        assert h.num_levels == len(h.levels)
+        assert h.hypergraph is hg
+        sizes = [level.fine.num_vertices for level, _ in h.levels]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_oracle_and_kernel_hierarchies_identical(self, hg):
+        cfg = MLConfig()
+        hk = build_hierarchy(hg, cfg, random.Random(3))
+        ho = build_hierarchy(hg, cfg, random.Random(3), oracle=True)
+        assert hk.num_levels == ho.num_levels
+        for (lk, fk), (lo, fo) in zip(hk.levels, ho.levels):
+            assert lk.cluster_of == lo.cluster_of
+            assert fk == fo
+        assert hk.coarsest.num_vertices == ho.coarsest.num_vertices
+        assert not hk.oracle and ho.oracle
+
+    def test_perf_counters(self, hg):
+        perf = PerfCounters()
+        h = build_hierarchy(hg, MLConfig(), random.Random(0), perf=perf)
+        assert perf.hierarchies_built == 1
+        assert perf.coarsen_levels == h.num_levels > 0
+        assert perf.coarsen_seconds > 0.0
+
+    def test_fixed_signature(self, hg):
+        fixed = [None] * hg.num_vertices
+        fixed[0], fixed[1] = 0, 1
+        h = build_hierarchy(hg, MLConfig(), random.Random(0), fixed_parts=fixed)
+        assert h.fixed_signature == tuple(fixed)
+        # Empty fixed_parts means "no fixed vertices" (truthiness), to
+        # agree with MLPartitioner.partition.
+        h2 = build_hierarchy(hg, MLConfig(), random.Random(0), fixed_parts=[])
+        assert h2.fixed_signature is None
+
+
+class TestStallGuard:
+    """Coarsening must abort cleanly when matching cannot shrink the
+    hypergraph at all — even with ``min_reduction <= 1.0``, which the
+    reduction test alone would let loop forever."""
+
+    @staticmethod
+    def _clique_like():
+        # One 50-pin net: larger than the default max_net_size, so every
+        # matching scheme sees no eligible net and produces all
+        # singletons — zero progress.
+        return Hypergraph([list(range(50))], 50)
+
+    def test_build_hierarchy_terminates(self):
+        hg = self._clique_like()
+        cfg = MLConfig(min_reduction=1.0, coarsest_size=40)
+        h = build_hierarchy(hg, cfg, random.Random(0))
+        assert h.num_levels == 0
+        assert h.coarsest is hg
+
+    def test_oracle_build_terminates(self):
+        hg = self._clique_like()
+        cfg = MLConfig(min_reduction=1.0, coarsest_size=40)
+        h = build_hierarchy(hg, cfg, random.Random(0), oracle=True)
+        assert h.num_levels == 0
+
+    def test_partition_terminates_and_is_legal(self):
+        hg = self._clique_like()
+        cfg = MLConfig(min_reduction=1.0, coarsest_size=40)
+        result = MLPartitioner(cfg, tolerance=0.1).partition(hg, seed=0)
+        assert result.legal
+
+    def test_vcycle_terminates(self):
+        hg = self._clique_like()
+        cfg = MLConfig(min_reduction=1.0, coarsest_size=40, vcycles=1)
+        result = MLPartitioner(cfg, tolerance=0.1).partition(hg, seed=0)
+        assert result.legal
+
+
+class TestHierarchyPool:
+    def test_lazy_and_cycling(self, hg):
+        perf = PerfCounters()
+        pool = HierarchyPool(hg, MLConfig(), 2, base_seed=5, perf=perf)
+        assert len(pool) == 2
+        assert pool.num_built == 0
+        h0 = pool.get(0)
+        assert pool.num_built == 1
+        assert pool.get(2) is h0  # start 2 cycles back to hierarchy 0
+        h1 = pool.get(1)
+        assert pool.num_built == 2
+        assert h1 is not h0
+        assert pool.get(3) is h1
+        assert perf.hierarchies_built == 2
+        assert perf.hierarchies_reused == 2
+
+    def test_pool_matches_serial_rebuild(self, hg):
+        cfg = MLConfig()
+        pool = HierarchyPool(hg, cfg, 2, base_seed=7)
+        for i in range(4):
+            serial = build_hierarchy(
+                hg, cfg, random.Random(hierarchy_seed(7, i % 2))
+            )
+            pooled = pool.get(i)
+            assert pooled.seed == hierarchy_seed(7, i % 2)
+            assert serial.num_levels == pooled.num_levels
+            for (ls, _), (lp, _) in zip(serial.levels, pooled.levels):
+                assert ls.cluster_of == lp.cluster_of
+
+    def test_bad_size_rejected(self, hg):
+        with pytest.raises(ValueError):
+            HierarchyPool(hg, MLConfig(), 0)
+
+
+class TestPartitionWithHierarchy:
+    def test_wrong_hypergraph_rejected(self, hg):
+        other = generate_circuit(100, seed=1)
+        h = build_hierarchy(other, MLConfig(), random.Random(0))
+        with pytest.raises(ValueError, match="different hypergraph"):
+            MLPartitioner().partition(hg, hierarchy=h)
+
+    def test_oracle_mismatch_rejected(self, hg):
+        h = build_hierarchy(hg, MLConfig(), random.Random(0), oracle=True)
+        with pytest.raises(ValueError, match="oracle"):
+            MLPartitioner().partition(hg, hierarchy=h)
+
+    def test_fixed_mismatch_rejected(self, hg):
+        fixed = [None] * hg.num_vertices
+        fixed[0] = 0
+        h = build_hierarchy(hg, MLConfig(), random.Random(0))
+        with pytest.raises(ValueError, match="fixed_parts"):
+            MLPartitioner().partition(hg, fixed_parts=fixed, hierarchy=h)
+
+    def test_fixed_sides_respected_through_pool(self, hg):
+        fixed = [None] * hg.num_vertices
+        for v in range(0, 20):
+            fixed[v] = v % 2
+        pool = HierarchyPool(hg, MLConfig(), 2, fixed_parts=fixed)
+        result = MLPartitioner(tolerance=0.1).partition(
+            hg, seed=3, fixed_parts=fixed, hierarchy=pool.get(0)
+        )
+        for v in range(0, 20):
+            assert result.assignment[v] == v % 2
+
+
+class TestPooledMultistart:
+    def test_serial_equals_pooled(self, hg):
+        """The pooling contract: same seeds, bit-identical records."""
+        engine = MLPartitioner(tolerance=0.1)
+        pooled = run_multistart_pooled(
+            engine, hg, 6, base_seed=11, pool_size=2
+        )
+        serial_cuts = []
+        cfg = MLConfig()
+        serial_engine = MLPartitioner(tolerance=0.1)
+        for i in range(6):
+            h = build_hierarchy(
+                hg, cfg, random.Random(hierarchy_seed(11, i % 2))
+            )
+            serial_cuts.append(
+                serial_engine.partition(hg, seed=11 + i, hierarchy=h).cut
+            )
+        assert [s.cut for s in pooled.starts] == serial_cuts
+
+    def test_kernel_equals_seed_oracle(self, hg):
+        """The bench equivalence at test scale: pooled kernel path vs
+        per-start oracle rebuild with frozen seed engines."""
+        pooled = run_multistart_pooled(
+            MLPartitioner(tolerance=0.1), hg, 4, base_seed=0, pool_size=2
+        )
+        oracle_engine = MLPartitioner(tolerance=0.1, oracle=True)
+        cfg = MLConfig()
+        oracle_cuts = []
+        for i in range(4):
+            h = build_hierarchy(
+                hg, cfg, random.Random(hierarchy_seed(0, i % 2)), oracle=True
+            )
+            oracle_cuts.append(
+                oracle_engine.partition(hg, seed=i, hierarchy=h).cut
+            )
+        assert [s.cut for s in pooled.starts] == oracle_cuts
+
+    def test_best_assignment_matches_best_cut(self, hg):
+        ms = run_multistart_pooled(
+            MLPartitioner(tolerance=0.1), hg, 3, base_seed=2
+        )
+        assert hg.cut_size(ms.best_assignment) == ms.min_cut
+
+    def test_foreign_pool_rejected(self, hg):
+        other = generate_circuit(100, seed=1)
+        pool = HierarchyPool(other, MLConfig(), 2)
+        with pytest.raises(ValueError, match="different hypergraph"):
+            run_multistart_pooled(MLPartitioner(), hg, 2, pool=pool)
+
+    def test_bad_num_starts(self, hg):
+        with pytest.raises(ValueError):
+            run_multistart_pooled(MLPartitioner(), hg, 0)
+
+    def test_shmetis_pooled_path_still_legal(self, hg):
+        res = shmetis(hg, k=2, ubfactor=5.0, nruns=3, seed=1)
+        weights = hg.part_weights(res.assignment, 2)
+        total = hg.total_vertex_weight
+        assert max(weights) <= 0.55 * total + max(
+            hg.vertex_weight(v) for v in hg.vertices()
+        )
+
+
+class TestEngineFastPathFlags:
+    """The snapshot-rollback and vectorized-seeding fast paths are exact:
+    disabling them must not change a single refinement outcome."""
+
+    def test_flags_do_not_change_results(self):
+        from repro.core import BalanceConstraint, FMEngine, Partition2
+
+        # Big enough to cross _VECTOR_SEED_MIN_VERTICES.
+        big = generate_circuit(400, seed=13)
+        bal = BalanceConstraint(big.total_vertex_weight, 0.1)
+        base = Partition2.random_balanced(big, bal, random.Random(1))
+        results = []
+        for snap in (False, True):
+            for vec in (False, True):
+                part = base.copy()
+                eng = FMEngine(
+                    bal,
+                    FMConfig(max_passes=4),
+                    random.Random(9),
+                    snapshot_rollback=snap,
+                    vector_seed=vec,
+                )
+                res = eng.refine(part)
+                results.append((res.final_cut, tuple(part.assignment)))
+        assert len(set(results)) == 1
+
+
+class TestBenchMlSmoke:
+    def test_bench_and_cli_gate(self, capsys):
+        from repro.bench import bench_ml_coarsen, render_ml_bench
+
+        result = bench_ml_coarsen(
+            scale=64, repeats=1, num_starts=2, pool_size=2
+        )
+        assert result["equivalent"]
+        assert result["benchmark"] == "ml_coarsen"
+        assert len(result["cuts"]) == 2
+        assert result["perf"]["hierarchies_built"] == 2
+        text = render_ml_bench(result)
+        assert "bit-identical: yes" in text
+
+    def test_cli_writes_json(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_ml_coarsen.json"
+        rc = main(
+            [
+                "bench", "ml",
+                "--scale", "64", "--repeats", "1", "--num-starts", "2",
+                "--min-speedup", "0",
+                "-o", str(out),
+            ]
+        )
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert data["equivalent"] is True
+        assert "speedup" in data
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bad_params_rejected(self):
+        from repro.bench import bench_ml_coarsen
+
+        with pytest.raises(ValueError):
+            bench_ml_coarsen(repeats=0)
+        with pytest.raises(ValueError):
+            bench_ml_coarsen(num_starts=0)
+        with pytest.raises(ValueError):
+            bench_ml_coarsen(pool_size=0)

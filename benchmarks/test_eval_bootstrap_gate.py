@@ -1,0 +1,64 @@
+"""Regression gate for the vectorized evaluation-bootstrap engine.
+
+Runs the ``repro bench eval`` harness: one instance's full Section 3.2
+bootstrap suite — the mean-c_tau ranking grid plus the Schreiber-Martin
+reach probabilities at every tau, per heuristic — once through the
+frozen pure-Python oracle (:mod:`repro.evaluation._seed_eval` under the
+derived-seed contract) and once through the vectorized
+:class:`~repro.evaluation.bsf.BootstrapKernel`.  The contract makes the
+two paths bit-identical, so the gate asserts exact equivalence *and*
+the issue's 10x speedup floor on the 10k-record workload.
+
+Marked slow: the oracle side replays hundreds of pure-Python
+shuffle-and-play bootstraps over 10k records — seconds per repeat, not
+tier-1 material.
+"""
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+#: Acceptance floor from the issue: vectorized suite at least this much
+#: faster than the frozen oracle on the 10k-record bootstrap workload.
+MIN_SPEEDUP = 10.0
+
+
+def test_bench_eval_bootstrap_vs_seed_oracle():
+    """Bootstrap-suite gate; writes ``BENCH_eval_bootstrap.json``.
+
+    The machine-readable record (timings, speedup, workload shape,
+    equivalence verdict) lands both in the repository root — the
+    regression artifact named by the issue — and under
+    ``benchmarks/results`` with the other bench outputs.
+    """
+    from pathlib import Path
+
+    from repro.bench import (
+        bench_eval_bootstrap,
+        render_eval_bench,
+        write_bench_json,
+    )
+
+    from _common import RESULTS_DIR, emit
+
+    result = bench_eval_bootstrap(
+        num_records=10000, num_heuristics=2, tau_points=12,
+        num_shuffles=50, repeats=3,
+    )
+    emit("BENCH_eval_bootstrap", render_eval_bench(result))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_json(result, str(RESULTS_DIR / "BENCH_eval_bootstrap.json"))
+    write_bench_json(
+        result,
+        str(
+            Path(__file__).resolve().parent.parent
+            / "BENCH_eval_bootstrap.json"
+        ),
+    )
+    assert result["equivalent"], (
+        "vectorized bootstrap diverged from the frozen oracle"
+    )
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"evaluation bootstrap speedup regressed: "
+        f"{result['speedup']:.2f}x < {MIN_SPEEDUP:g}x"
+    )

@@ -57,6 +57,9 @@ from repro.core.config import FMConfig
 from repro.core.engine import FMEngine, FMResult
 from repro.core.partition import Partition2
 from repro.core.perf import PerfCounters
+from repro.evaluation import _seed_eval
+from repro.evaluation.bsf import BootstrapKernel, default_tau_grid, eval_seed
+from repro.evaluation.records import TrialRecord, group_by
 from repro.instances.suite import suite_instance
 from repro.multilevel.mlpart import MLConfig, MLPartitioner
 from repro.multilevel.pool import (
@@ -364,6 +367,168 @@ def bench_ml_coarsen(
         "best_cut": min(pool_cuts),
         "perf": perf_dict,
     }
+
+
+# ----------------------------------------------------------------------
+# Vectorized evaluation bootstrap (``repro bench eval``)
+# ----------------------------------------------------------------------
+def _bootstrap_records(
+    num_records: int, num_heuristics: int, seed: int
+) -> List[TrialRecord]:
+    """Deterministic synthetic trial records for the bootstrap bench:
+    ``num_records`` trials split evenly over ``num_heuristics``
+    heuristics of one instance, with varied cuts and runtimes."""
+    rng = random.Random(seed)
+    records: List[TrialRecord] = []
+    per = max(1, num_records // num_heuristics)
+    for h in range(num_heuristics):
+        name = f"H{h}"
+        for i in range(per):
+            records.append(
+                TrialRecord(
+                    heuristic=name,
+                    instance="bench",
+                    seed=i,
+                    cut=float(rng.randint(100, 1000)),
+                    runtime_seconds=0.05 + rng.random(),
+                    legal=True,
+                )
+            )
+    return records
+
+
+def bench_eval_bootstrap(
+    num_records: int = 10000,
+    num_heuristics: int = 2,
+    tau_points: int = 12,
+    num_shuffles: int = 50,
+    repeats: int = 3,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Evaluation-bootstrap microbenchmark: frozen oracle vs vectorized.
+
+    The workload is one instance's full Section 3.2 bootstrap suite over
+    ``num_records`` trial records: for every heuristic, the mean-c_tau
+    ranking grid (``tau_points`` budgets) *and* the Schreiber-Martin
+    reach probabilities ``P(c_tau <= best known cut)`` at every budget.
+    The baseline runs the frozen pure-Python bootstrap
+    (:mod:`repro.evaluation._seed_eval`) under the derived-seed
+    contract — a fresh ``random.Random(eval_seed(seed, heuristic))`` per
+    (heuristic, tau, view); the subject builds one
+    :class:`~repro.evaluation.bsf.BootstrapKernel` per heuristic and
+    answers every tau and view from its shared ordering matrix.
+
+    Both paths produce the identical derived-seed bootstrap, so the
+    equivalence verdict compares every mean and every probability
+    exactly (``==``, no tolerance); any divergence fails the bench.
+    Reported times are minima over ``repeats`` with the two paths
+    interleaved within each repeat.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if num_records < 1 or num_heuristics < 1:
+        raise ValueError("num_records and num_heuristics must be >= 1")
+    if tau_points < 1 or num_shuffles < 1:
+        raise ValueError("tau_points and num_shuffles must be >= 1")
+
+    records = _bootstrap_records(num_records, num_heuristics, seed)
+    taus = default_tau_grid(records, points=tau_points)
+    target = min(r.cut for r in records)
+    groups = group_by(records, "heuristic")
+
+    def run_oracle():
+        means: Dict[str, List[Optional[float]]] = {}
+        reach: Dict[str, List[float]] = {}
+        for (name,), rs in groups.items():
+            s = eval_seed(seed, name)
+            ms: List[Optional[float]] = []
+            rh: List[float] = []
+            for tau in taus:
+                samples = _seed_eval.c_tau_samples(
+                    rs, tau, num_shuffles, random.Random(s)
+                )
+                ms.append(sum(samples) / len(samples) if samples else None)
+                rh.append(
+                    _seed_eval.probability_reaching(
+                        rs, tau, target, num_shuffles, random.Random(s)
+                    )
+                )
+            means[name], reach[name] = ms, rh
+        return means, reach
+
+    def run_kernel():
+        means: Dict[str, List[Optional[float]]] = {}
+        reach: Dict[str, List[float]] = {}
+        for (name,), rs in groups.items():
+            kernel = BootstrapKernel(rs, num_shuffles, eval_seed(seed, name))
+            means[name] = [kernel.mean_c_tau(tau) for tau in taus]
+            reach[name] = [
+                kernel.probability_reaching(tau, target) for tau in taus
+            ]
+        return means, reach
+
+    oracle_secs: List[float] = []
+    kernel_secs: List[float] = []
+    equivalent = True
+    first: Dict[str, object] = {}
+    for rep in range(repeats):
+        t0 = time.perf_counter()
+        o_means, o_reach = run_oracle()
+        oracle_secs.append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        k_means, k_reach = run_kernel()
+        kernel_secs.append(time.perf_counter() - t0)
+
+        if rep == 0:
+            first = {"means": k_means, "reach": k_reach}
+        # Exact equality of every mean and probability, and stability
+        # across repeats (the bootstrap is deterministic by contract).
+        equivalent = equivalent and (
+            o_means == k_means
+            and o_reach == k_reach
+            and k_means == first["means"]
+            and k_reach == first["reach"]
+        )
+
+    best_oracle = min(oracle_secs)
+    best_kernel = min(kernel_secs)
+    speedup = best_oracle / best_kernel if best_kernel > 0 else float("inf")
+    return {
+        "benchmark": "eval_bootstrap",
+        "num_records": len(records),
+        "num_heuristics": num_heuristics,
+        "tau_points": tau_points,
+        "num_shuffles": num_shuffles,
+        "repeats": repeats,
+        "seed": seed,
+        "taus": [float(t) for t in taus],
+        "oracle_seconds": oracle_secs,
+        "kernel_seconds": kernel_secs,
+        "best_oracle_seconds": best_oracle,
+        "best_kernel_seconds": best_kernel,
+        "speedup": speedup,
+        "equivalent": equivalent,
+    }
+
+
+def render_eval_bench(result: Dict[str, object]) -> str:
+    """Human-readable summary for one :func:`bench_eval_bootstrap` result."""
+    lines = [
+        f"Evaluation bootstrap bench — {result['num_records']} records over "
+        f"{result['num_heuristics']} heuristic(s), "
+        f"{result['tau_points']}-point tau grid, "
+        f"{result['num_shuffles']} shuffles, {result['repeats']} repeat(s)",
+        "",
+        f"frozen oracle:     {result['best_oracle_seconds']:8.3f} s "
+        f"(pure-Python shuffle-and-play per (heuristic, tau, view))",
+        f"vectorized kernel: {result['best_kernel_seconds']:8.3f} s "
+        f"(one ordering matrix per heuristic, numpy cumsum/prefix-min)",
+        "",
+        f"speedup: {result['speedup']:.2f}x — bootstrap bit-identical: "
+        f"{'yes' if result['equivalent'] else 'NO'}",
+    ]
+    return "\n".join(lines)
 
 
 def render_ml_bench(result: Dict[str, object]) -> str:

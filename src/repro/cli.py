@@ -12,6 +12,7 @@ The subcommands mirror a practitioner's workflow::
     python -m repro campaign  resume campaigns/campaign
     python -m repro campaign  status campaigns/campaign
     python -m repro campaign  report campaigns/campaign
+    python -m repro campaign  report campaigns/campaign --live --follow
 
 ``partition`` accepts both hMetis ``.hgr`` and ISPD98 ``.netD`` (with
 optional ``--are``) inputs, writes an hMetis-style solution file, and
@@ -253,6 +254,42 @@ def cmd_bench_ml(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_eval(args: argparse.Namespace) -> int:
+    """Evaluation-bootstrap bench vs the frozen pure-Python oracle.
+
+    Prints a summary, writes machine-readable JSON, and gates: exit
+    code 1 when the vectorized engine is below ``--min-speedup`` or any
+    bootstrap statistic diverges from the oracle.
+    """
+    from repro.bench import bench_eval_bootstrap, render_eval_bench, write_bench_json
+
+    result = bench_eval_bootstrap(
+        num_records=args.records,
+        num_heuristics=args.heuristics,
+        tau_points=args.taus,
+        num_shuffles=args.shuffles,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(render_eval_bench(result))
+    write_bench_json(result, args.output)
+    print(f"\nwrote {args.output}")
+    if not result["equivalent"]:
+        print(
+            "error: vectorized bootstrap diverged from the frozen oracle",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_speedup and result["speedup"] < args.min_speedup:
+        print(
+            f"error: speedup {result['speedup']:.2f}x below required "
+            f"{args.min_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 def cmd_campaign_run(args: argparse.Namespace) -> int:
     """Orchestrated campaign: parallel workers + crash-safe journal."""
@@ -356,19 +393,39 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign_report(args: argparse.Namespace) -> int:
-    """Render the full Section 3.2 report from a campaign journal."""
+    """Render the full Section 3.2 report from a campaign journal.
+
+    ``--live`` renders from whatever trials have been journaled so far
+    (a partially-written journal of a still-running campaign is fine;
+    progress goes to stderr, the report to stdout).  ``--follow`` keeps
+    tailing the journal, re-reporting progress as outcomes land, until
+    every planned trial is journaled — the final report is identical to
+    a post-hoc ``repro campaign report`` of the finished journal.
+    """
     from repro.evaluation import CampaignResult
     from repro.orchestrate import RunStore
 
     store = RunStore(args.campaign_dir)
-    meta = store.load_meta()
-    result = CampaignResult(
-        spec_name=meta["name"],
-        records=store.records(),
-        alpha=meta.get("alpha", 0.05),
-    )
-    text = result.report(num_shuffles=args.num_shuffles)
-    print(text)
+    if args.live or args.follow:
+        from repro.evaluation.streaming import ReportBuilder, follow_report
+
+        builder = ReportBuilder(store, num_shuffles=args.num_shuffles)
+        if args.follow:
+            text = follow_report(builder, interval=args.interval)
+        else:
+            builder.refresh()
+            print(builder.status_line(), file=sys.stderr)
+            text = builder.render()
+        print(text)
+    else:
+        meta = store.load_meta()
+        result = CampaignResult(
+            spec_name=meta["name"],
+            records=store.records(),
+            alpha=meta.get("alpha", 0.05),
+        )
+        text = result.report(num_shuffles=args.num_shuffles)
+        print(text)
     if args.output:
         from pathlib import Path
 
@@ -485,6 +542,29 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("-o", "--output", default="BENCH_ml_coarsen.json")
     b.set_defaults(func=cmd_bench_ml)
 
+    b = bsub.add_parser(
+        "eval",
+        help="vectorized evaluation bootstrap vs the frozen pure-Python "
+        "oracle (writes BENCH_eval_bootstrap.json)",
+    )
+    b.add_argument("--records", type=int, default=10000,
+                   help="synthetic trial records in the workload "
+                   "(default 10000 = acceptance size)")
+    b.add_argument("--heuristics", type=int, default=2,
+                   help="heuristics the records are split over (default 2)")
+    b.add_argument("--taus", type=int, default=12,
+                   help="tau grid points (default 12, the report default)")
+    b.add_argument("--shuffles", type=int, default=50,
+                   help="bootstrap shuffles per (heuristic, tau) (default 50)")
+    b.add_argument("--repeats", type=int, default=3,
+                   help="timed runs per path (min is reported)")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--min-speedup", type=float, default=10.0,
+                   help="fail (exit 1) below this speedup "
+                   "(default 10.0; pass 0 to disable the gate)")
+    b.add_argument("-o", "--output", default="BENCH_eval_bootstrap.json")
+    b.set_defaults(func=cmd_bench_eval)
+
     p = sub.add_parser(
         "campaign",
         help="orchestrated campaigns: parallel, journaled, resumable",
@@ -535,10 +615,24 @@ def build_parser() -> argparse.ArgumentParser:
     c.set_defaults(func=cmd_campaign_status)
 
     c = csub.add_parser(
-        "report", help="render the report from a campaign journal"
+        "report", help="render the report from a campaign journal "
+        "(post-hoc, or live while the campaign is still running)"
     )
     c.add_argument("campaign_dir")
     c.add_argument("--num-shuffles", type=int, default=100)
+    c.add_argument(
+        "--live", action="store_true",
+        help="render from the trials journaled so far, even mid-campaign",
+    )
+    c.add_argument(
+        "--follow", action="store_true",
+        help="keep tailing the journal until every planned trial lands, "
+        "then render the final report (implies --live)",
+    )
+    c.add_argument(
+        "--interval", type=float, default=2.0,
+        help="poll interval in seconds for --follow (default 2)",
+    )
     c.add_argument("-o", "--output")
     c.set_defaults(func=cmd_campaign_report)
 

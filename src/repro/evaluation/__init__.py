@@ -13,16 +13,26 @@ principled way to run and report metaheuristic experiments —
 * :mod:`~repro.evaluation.stats_tests` — significance testing (Brglez);
 * :mod:`~repro.evaluation.cpu_norm` — cross-machine CPU normalization
   (paper footnote 9);
-* :mod:`~repro.evaluation.reporting` — the paper's table formats.
+* :mod:`~repro.evaluation.reporting` — the paper's table formats;
+* :mod:`~repro.evaluation.streaming` — live reports tailed from a
+  running campaign's journal (import the submodule directly; it reaches
+  into :mod:`repro.orchestrate` and is kept out of this namespace to
+  avoid an import cycle);
+* :mod:`~repro.evaluation._seed_eval` — the frozen pure-Python
+  bootstrap the vectorized kernels are verified bit-identical against.
 """
 
 from repro.evaluation.bsf import (
+    BootstrapKernel,
     BSFPoint,
+    KernelCache,
     bsf_trajectory,
     c_tau_samples,
     default_tau_grid,
+    eval_seed,
     expected_bsf_curve,
     probability_reaching,
+    shuffle_matrix,
 )
 from repro.evaluation.campaign import (
     CampaignResult,
@@ -74,10 +84,12 @@ from repro.evaluation.stats_tests import (
 
 __all__ = [
     "BSFPoint",
+    "BootstrapKernel",
     "CampaignResult",
     "CampaignSpec",
     "ComparisonResult",
     "CpuNormalizer",
+    "KernelCache",
     "PerfPoint",
     "RankingDiagram",
     "TrialRecord",
@@ -94,6 +106,7 @@ __all__ = [
     "cut_time_cell",
     "default_tau_grid",
     "dominates",
+    "eval_seed",
     "expected_bsf_curve",
     "frontier_from_records",
     "group_by",
@@ -111,6 +124,7 @@ __all__ = [
     "run_configuration_evaluation",
     "run_trials",
     "save_records",
+    "shuffle_matrix",
     "summary_by_heuristic",
     "table1_grid",
 ]

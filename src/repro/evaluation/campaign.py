@@ -12,12 +12,12 @@ flexible presentation medium should contain, reduced to a text artifact.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.multistart import Bipartitioner
+from repro.evaluation.bsf import KernelCache
 from repro.evaluation.pareto import frontier_from_records
 from repro.evaluation.ranking import ranking_diagram
 from repro.evaluation.records import TrialRecord, save_records
@@ -89,8 +89,21 @@ class CampaignResult:
             rows.append(row)
         return ascii_table([""] + names, rows)
 
-    def report(self, num_shuffles: int = 100) -> str:
-        """Render the complete campaign report."""
+    def report(
+        self,
+        num_shuffles: int = 100,
+        base_seed: int = 0,
+        ranking_caches: Optional[Dict[str, KernelCache]] = None,
+    ) -> str:
+        """Render the complete campaign report.
+
+        The ranking bootstrap derives an independent shuffle stream per
+        (heuristic, tau) from ``base_seed`` — the report for a given
+        record set and seed is reproducible and per-heuristic stable.
+        ``ranking_caches`` (one :class:`KernelCache` per instance,
+        created on demand) lets a live report reuse bootstrap kernels
+        across refreshes; output is identical with or without it.
+        """
         lines = [f"Campaign: {self.spec_name}", "=" * 72, ""]
         lines.append("Traditional multistart table")
         lines.append("-" * 40)
@@ -104,10 +117,14 @@ class CampaignResult:
                     f"  {p.label:32s} cost={p.cost:9.1f}  time={p.time:.4f}s"
                 )
             lines += ["", f"Speed-dependent ranking — {inst}", "-" * 40]
+            cache = None
+            if ranking_caches is not None:
+                cache = ranking_caches.setdefault(inst, KernelCache())
             diagram = ranking_diagram(
                 inst_records,
                 num_shuffles=num_shuffles,
-                rng=random.Random(0),
+                base_seed=base_seed,
+                cache=cache,
             )
             lines.append(diagram.render())
 

@@ -19,7 +19,7 @@ can be normalized to each other, which is all the methodology requires.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.evaluation.records import TrialRecord
@@ -78,17 +78,18 @@ class CpuNormalizer:
         return seconds * self.factor_for(instance)
 
     def normalize(self, records: Sequence[TrialRecord]) -> List[TrialRecord]:
-        """Return records with runtimes converted to reference seconds."""
+        """Return records with runtimes converted to reference seconds.
+
+        Uses :func:`dataclasses.replace` so every field other than
+        ``runtime_seconds`` rides along untouched — fields added to
+        :class:`TrialRecord` later cannot be silently dropped here.
+        """
         return [
-            TrialRecord(
-                heuristic=r.heuristic,
-                instance=r.instance,
-                seed=r.seed,
-                cut=r.cut,
+            replace(
+                r,
                 runtime_seconds=self.normalize_seconds(
                     r.runtime_seconds, r.instance
                 ),
-                legal=r.legal,
             )
             for r in records
         ]

@@ -36,14 +36,32 @@ def non_dominated(points: Iterable[PerfPoint]) -> List[PerfPoint]:
     Points dominated by no other point survive.  Duplicate-coordinate
     points all survive (none strictly dominates another), matching the
     paper's strict-inequality definition.
+
+    Sort-and-sweep, O(n log n): after a stable sort by (time, cost),
+    only points with *strictly* smaller time can dominate, so one pass
+    tracking the best cost among strictly-earlier time groups decides
+    every point.  Output is identical — element for element, ties in
+    original input order — to the quadratic scan it replaced (frozen in
+    :mod:`repro.evaluation._seed_eval`).
     """
-    pts = list(points)
-    frontier = [
-        p
-        for p in pts
-        if not any(dominates(q, p) for q in pts)
-    ]
-    frontier.sort(key=lambda p: (p.time, p.cost))
+    pts = sorted(points, key=lambda p: (p.time, p.cost))
+    frontier: List[PerfPoint] = []
+    best_cost_before = float("inf")  # best cost at strictly smaller time
+    i = 0
+    while i < len(pts):
+        j = i
+        while j < len(pts) and pts[j].time == pts[i].time:
+            j += 1
+        group_best = best_cost_before
+        for p in pts[i:j]:
+            # Strict-inequality dominance: survive unless someone
+            # strictly earlier is strictly cheaper.
+            if not best_cost_before < p.cost:
+                frontier.append(p)
+            if p.cost < group_best:
+                group_best = p.cost
+        best_cost_before = group_best
+        i = j
     return frontier
 
 

@@ -6,15 +6,31 @@ orderings of recorded starts).  The result is the "ranking diagram
 diagnostic" the paper describes: regions of (CPU time) dominance for
 each heuristic.  Heuristics whose fastest start exceeds tau are marked
 unavailable in that regime rather than silently ranked.
+
+Seeding: every (heuristic, tau) bootstrap runs on an independent RNG
+derived from ``base_seed`` and the heuristic's *name* via
+:func:`repro.evaluation.bsf.eval_seed` — never on a shared RNG threaded
+through the group loop.  A heuristic's reported mean c_tau is therefore
+a pure function of its own records and the base seed: adding or
+removing a competitor cannot change it (the old shared-RNG threading
+did exactly that — the irreproducibility Brglez warns against).  All
+taus of one heuristic replay the same shuffle stream (common random
+numbers), which both stabilizes the diagram across grid choices and
+lets the vectorized kernel share one ordering matrix per heuristic
+across the whole tau grid.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.evaluation.bsf import c_tau_samples, default_tau_grid
+from repro.evaluation.bsf import (
+    BootstrapKernel,
+    KernelCache,
+    default_tau_grid,
+    eval_seed,
+)
 from repro.evaluation.records import TrialRecord, group_by
 
 
@@ -41,20 +57,27 @@ class RankingDiagram:
                 best = name
         return best
 
-    def dominance_regions(self) -> List[tuple]:
-        """Contiguous (tau_start, tau_end, winner) regions of the grid."""
-        regions: List[tuple] = []
-        current: Optional[str] = None
-        start_tau: Optional[float] = None
+    def dominance_regions(self) -> List[Tuple[float, float, Optional[str]]]:
+        """Maximal runs of grid points with one winner, as
+        ``(tau_first, tau_last, winner)``.
+
+        The regions partition the grid: every grid point belongs to
+        exactly one region (a single-point run yields
+        ``tau_first == tau_last`` — the honest answer at grid
+        resolution, instead of the old rendering that let the previous
+        winner's region overlap the change point and pinned the new
+        winner to a zero-width afterthought).  ``winner is None``
+        regions are reported, not dropped: they mark budgets where *no*
+        heuristic completes a start — the "cannot run in this regime"
+        verdict the diagram exists to surface.
+        """
+        regions: List[Tuple[float, float, Optional[str]]] = []
         for i, tau in enumerate(self.taus):
             w = self.winner_at(i)
-            if w != current:
-                if current is not None and start_tau is not None:
-                    regions.append((start_tau, tau, current))
-                current = w
-                start_tau = tau
-        if current is not None and start_tau is not None:
-            regions.append((start_tau, self.taus[-1], current))
+            if regions and regions[-1][2] == w:
+                regions[-1] = (regions[-1][0], tau, w)
+            else:
+                regions.append((tau, tau, w))
         return regions
 
     def render(self) -> str:
@@ -87,19 +110,26 @@ def ranking_diagram(
     records: Sequence[TrialRecord],
     taus: Optional[Sequence[float]] = None,
     num_shuffles: int = 200,
-    rng: Optional[random.Random] = None,
+    base_seed: int = 0,
+    cache: Optional[KernelCache] = None,
 ) -> RankingDiagram:
     """Build a :class:`RankingDiagram` from per-trial records of several
-    heuristics on one instance."""
-    if rng is None:
-        rng = random.Random(0)
+    heuristics on one instance.
+
+    Each heuristic's bootstrap runs on its own derived seed
+    (:func:`eval_seed`), one vectorized kernel per heuristic shared
+    across the whole tau grid.  Pass a :class:`KernelCache` to reuse
+    kernels across repeated calls on growing record sets (the streaming
+    report path); results are identical with or without the cache.
+    """
     if taus is None:
         taus = default_tau_grid(list(records))
     diagram = RankingDiagram(taus=list(taus))
     for (name,), rs in group_by(records, "heuristic").items():
-        means: List[Optional[float]] = []
-        for tau in taus:
-            samples = c_tau_samples(rs, tau, num_shuffles, rng)
-            means.append(sum(samples) / len(samples) if samples else None)
-        diagram.mean_ctau[name] = means
+        seed = eval_seed(base_seed, name)
+        if cache is not None:
+            kernel = cache.kernel(name, rs, num_shuffles, seed)
+        else:
+            kernel = BootstrapKernel(rs, num_shuffles, seed)
+        diagram.mean_ctau[name] = [kernel.mean_c_tau(tau) for tau in taus]
     return diagram

@@ -1,0 +1,196 @@
+"""Streaming evaluation: live reports from a campaign still being run.
+
+PR 1's orchestrator journals every trial to a crash-safe
+:class:`~repro.orchestrate.store.RunStore` the moment it resolves — the
+per-trial records a Section 3.2 report needs are on disk for the whole
+campaign, not just at the end.  This module derives the report *while
+the journal grows*:
+
+* :class:`JournalTail` — an incremental reader that consumes only
+  complete journal lines (a torn final line — the classic crash/mid-write
+  artifact — is left unconsumed until its newline lands, the reader-side
+  analogue of the store's torn-tail healing) and deduplicates by trial
+  index with last-occurrence-wins, exactly like
+  :meth:`RunStore.outcomes`;
+* :class:`ReportBuilder` — tails a store and re-derives the full
+  campaign report (traditional table, BSF-backed speed-dependent
+  ranking, Pareto frontier, significance matrix) from whatever records
+  have landed, reusing vectorized bootstrap kernels across refreshes via
+  per-instance :class:`~repro.evaluation.bsf.KernelCache` objects so a
+  refresh only re-bootstraps heuristics whose record pools actually
+  grew;
+* :func:`follow_report` — the ``repro campaign report --follow`` loop.
+
+Because the tailer's dedup/skip semantics mirror the batch reader's,
+a live report rendered after the final trial lands is byte-identical to
+the post-hoc ``repro campaign report`` of the finished journal.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List, Optional, TextIO
+
+from repro.evaluation.bsf import KernelCache
+from repro.evaluation.campaign import CampaignResult
+from repro.evaluation.records import TrialRecord
+from repro.orchestrate.store import RunStore, TrialOutcome, parse_journal_line
+
+
+class JournalTail:
+    """Incremental, torn-tail-safe reader of a ``RunStore`` journal.
+
+    Maintains a byte offset into ``journal.jsonl``; every :meth:`poll`
+    reads the newly appended bytes and absorbs the complete lines among
+    them.  Bytes after the last newline are *not* consumed — a writer
+    may still be mid-append — so a torn tail is re-examined on the next
+    poll instead of being misparsed.  (If a crash leaves the torn line
+    permanently unterminated, the store's own healing turns it into a
+    complete-but-corrupt line on the next writer append, and it is then
+    skipped here exactly as :meth:`RunStore.outcomes` skips it.)
+    """
+
+    def __init__(self, store: RunStore):
+        self.store = store
+        self._offset = 0
+        self._by_trial: Dict[int, TrialOutcome] = {}
+
+    @property
+    def offset(self) -> int:
+        """Bytes of the journal consumed so far."""
+        return self._offset
+
+    def poll(self) -> int:
+        """Absorb newly appended complete lines; return how many parsed
+        outcomes were absorbed (including replacements of duplicate
+        trial indices — last occurrence wins, as in the batch reader)."""
+        path = self.store.journal_path
+        if not path.exists():
+            return 0
+        with open(path, "rb") as f:
+            f.seek(self._offset)
+            chunk = f.read()
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return 0  # nothing new, or only a torn tail so far
+        complete, self._offset = chunk[: end + 1], self._offset + end + 1
+        absorbed = 0
+        for raw in complete.splitlines():
+            outcome = parse_journal_line(raw.decode("ascii", "replace"))
+            if outcome is None:
+                continue
+            self._by_trial[outcome.trial] = outcome
+            absorbed += 1
+        return absorbed
+
+    def outcomes(self) -> List[TrialOutcome]:
+        """Absorbed outcomes, deduplicated, sorted by trial index —
+        the streaming view of :meth:`RunStore.outcomes`."""
+        return [self._by_trial[k] for k in sorted(self._by_trial)]
+
+    def records(self) -> List[TrialRecord]:
+        """Successful absorbed trials as reporting-stack records, in
+        canonical (plan index) order."""
+        return [o.to_record() for o in self.outcomes() if o.ok]
+
+
+class ReportBuilder:
+    """Incrementally re-derives a campaign report from a live journal.
+
+    ``render()`` after any number of ``refresh()`` calls returns exactly
+    what ``CampaignResult(...).report(...)`` over the same journaled
+    records returns — partial mid-campaign, and byte-identical to the
+    post-hoc report once every trial has landed.
+    """
+
+    def __init__(
+        self,
+        store: RunStore,
+        num_shuffles: int = 100,
+        base_seed: int = 0,
+        alpha: Optional[float] = None,
+    ):
+        self.store = store
+        self.tail = JournalTail(store)
+        self.num_shuffles = num_shuffles
+        self.base_seed = base_seed
+        meta = store.load_meta()
+        self.name = str(meta.get("name", store.directory.name))
+        self.total = int(meta.get("total_trials", 0))
+        self.alpha = float(meta.get("alpha", 0.05) if alpha is None else alpha)
+        # One bootstrap-kernel cache per instance, reused across
+        # refreshes; only heuristics with new records rebuild kernels.
+        self._caches: Dict[str, KernelCache] = {}
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> int:
+        """Absorb newly journaled outcomes; returns how many arrived."""
+        return self.tail.poll()
+
+    @property
+    def done(self) -> int:
+        """Distinct trials journaled so far."""
+        return len(self.tail.outcomes())
+
+    def complete(self) -> bool:
+        """True once every planned trial has a journaled outcome."""
+        return self.total > 0 and self.done >= self.total
+
+    def records(self) -> List[TrialRecord]:
+        return self.tail.records()
+
+    def result(self) -> CampaignResult:
+        """The records absorbed so far as a :class:`CampaignResult`."""
+        return CampaignResult(
+            spec_name=self.name, records=self.records(), alpha=self.alpha
+        )
+
+    def status_line(self) -> str:
+        """One-line progress summary for interactive display."""
+        outcomes = self.tail.outcomes()
+        ok = sum(1 for o in outcomes if o.ok)
+        return (
+            f"[live] {self.name}: {len(outcomes)}/{self.total} trials "
+            f"journaled ({ok} ok, {len(outcomes) - ok} errors)"
+        )
+
+    def render(self) -> str:
+        """The full Section 3.2 report over the records absorbed so far."""
+        return self.result().report(
+            num_shuffles=self.num_shuffles,
+            base_seed=self.base_seed,
+            ranking_caches=self._caches,
+        )
+
+
+def follow_report(
+    builder: ReportBuilder,
+    interval: float = 2.0,
+    stream: Optional[TextIO] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    max_polls: Optional[int] = None,
+) -> str:
+    """Tail a live campaign: re-render whenever new outcomes land, until
+    the journal holds every planned trial (or ``max_polls`` polls pass).
+
+    Status lines go to ``stream`` (default stderr); the final report
+    text is returned, not printed, so callers control where it lands.
+    """
+    if stream is None:
+        stream = sys.stderr
+    polls = 0
+    dirty = True
+    while True:
+        if builder.refresh():
+            dirty = True
+        if dirty:
+            print(builder.status_line(), file=stream, flush=True)
+            dirty = False
+        polls += 1
+        if builder.complete():
+            break
+        if max_polls is not None and polls >= max_polls:
+            break
+        sleep(interval)
+    return builder.render()

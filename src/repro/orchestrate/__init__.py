@@ -32,6 +32,7 @@ from repro.orchestrate.store import (
     StoreStatus,
     TrialOutcome,
     machine_info,
+    parse_journal_line,
 )
 
 __all__ = [
@@ -48,5 +49,6 @@ __all__ = [
     "expand_spec",
     "machine_info",
     "orchestrate_campaign",
+    "parse_journal_line",
     "spec_fingerprint",
 ]

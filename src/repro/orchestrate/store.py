@@ -83,6 +83,22 @@ class StoreStatus:
         return self.total - self.done
 
 
+def parse_journal_line(line: str) -> Optional[TrialOutcome]:
+    """Parse one journal line into a :class:`TrialOutcome`, or ``None``
+    for blank or unparseable lines (e.g. a line truncated by a crash —
+    the corresponding trial simply reruns on resume).  Shared by the
+    batch reader (:meth:`RunStore.outcomes`) and the streaming tailer
+    (:class:`repro.evaluation.streaming.JournalTail`) so both sides of
+    the report pipeline agree on what counts as a record."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        return TrialOutcome(**json.loads(line))
+    except (ValueError, TypeError):
+        return None
+
+
 def machine_info() -> Dict[str, object]:
     """Host facts recorded for the paper's CPU-time normalization
     (footnote 9): reported times are only comparable across machines
@@ -168,13 +184,8 @@ class RunStore:
         by_trial: Dict[int, TrialOutcome] = {}
         with open(self.journal_path, "r", encoding="ascii") as f:
             for line in f:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                    outcome = TrialOutcome(**payload)
-                except (ValueError, TypeError):
+                outcome = parse_journal_line(line)
+                if outcome is None:
                     continue  # truncated / corrupt line: rerun that trial
                 by_trial[outcome.trial] = outcome
         return [by_trial[k] for k in sorted(by_trial)]

@@ -41,7 +41,7 @@ class TestCTau:
     def test_budget_cuts_off_starts(self):
         rs = [rec(30, 1.0), rec(10, 1.0)]
         # tau = 1.5 admits exactly one start per ordering.
-        samples = c_tau_samples(rs, 1.5, num_shuffles=100, rng=random.Random(0))
+        samples = c_tau_samples(rs, 1.5, num_shuffles=100, seed=0)
         assert set(samples) == {30.0, 10.0}
 
     def test_large_budget_always_finds_best(self):
@@ -70,6 +70,35 @@ class TestExpectedCurve:
         assert curve[0][1] is None
         assert curve[1][1] == 30.0
 
+    def test_curve_entry_independent_of_other_taus(self):
+        # Regression: the old implementation advanced one RNG across the
+        # tau loop, so the value at t2 depended on which smaller taus
+        # were requested.  The shuffle stream now restarts from the seed
+        # at every tau (common random numbers).
+        rng = random.Random(3)
+        rs = [
+            rec(rng.randint(10, 50), 0.5 + rng.random(), seed=s)
+            for s in range(12)
+        ]
+        t1, t2 = 1.3, 4.0
+        full = expected_bsf_curve(rs, [t1, t2], num_shuffles=50, seed=5)
+        alone = expected_bsf_curve(rs, [t2], num_shuffles=50, seed=5)
+        assert alone[0] == full[1]
+
+    def test_same_shuffles_at_every_tau_gives_monotone_curve(self):
+        # Common random numbers make the empirical curve exactly
+        # non-increasing (each ordering's prefix only grows with tau),
+        # not just non-increasing in expectation.
+        rng = random.Random(9)
+        rs = [rec(rng.randint(10, 50), rng.random(), seed=s) for s in range(15)]
+        taus = [0.4, 0.9, 1.7, 3.0, 8.0]
+        values = [
+            c for _, c in expected_bsf_curve(rs, taus, num_shuffles=30)
+            if c is not None
+        ]
+        for a, b in zip(values, values[1:]):
+            assert b <= a
+
 
 class TestProbabilityReaching:
     def test_certain_and_impossible(self):
@@ -80,7 +109,7 @@ class TestProbabilityReaching:
     def test_single_start_budget_is_half(self):
         rs = [rec(10, 1.0), rec(30, 1.0)]
         p = probability_reaching(
-            rs, 1.5, 10.0, num_shuffles=2000, rng=random.Random(0)
+            rs, 1.5, 10.0, num_shuffles=2000, seed=0
         )
         assert 0.4 < p < 0.6
 

@@ -1,0 +1,173 @@
+"""Kernel-vs-oracle equivalence suite for the vectorized evaluation engine.
+
+Same methodology as ``tests/test_kernel_equivalence.py`` (FM engine) and
+``tests/test_coarsen_equivalence.py`` (coarsener): the vectorized
+bootstrap kernels in :mod:`repro.evaluation.bsf` /
+:mod:`repro.evaluation.pareto` must be *bit-identical* to the frozen
+pure-Python reference in :mod:`repro.evaluation._seed_eval` — element
+for element, float for float — under the contract
+
+    kernel(records, ..., seed=s) == oracle(records, ..., rng=random.Random(s))
+
+with multi-tau kernel curves matching *fresh-RNG single-tau* oracle
+calls (common random numbers).  Property-based over record pools with
+zero runtimes, tied cuts and single-record pools — the degenerate
+shapes where a vectorized cumsum/prefix-min rewrite is most likely to
+drift from the sequential loop.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import _seed_eval
+from repro.evaluation.bsf import (
+    c_tau_samples,
+    eval_seed,
+    expected_bsf_curve,
+    probability_reaching,
+)
+from repro.evaluation.pareto import PerfPoint, non_dominated
+from repro.evaluation.ranking import ranking_diagram
+from repro.evaluation.records import TrialRecord
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Small integer-ish cuts force ties; the runtime pool includes 0.0
+# (instant starts) and repeated values (tied elapsed times at a tau
+# boundary).  allow_nan/allow_infinity are excluded by construction.
+cut_values = st.integers(min_value=0, max_value=15).map(float)
+runtime_values = st.one_of(
+    st.sampled_from([0.0, 0.25, 0.5, 1.0, 1.5]),
+    st.floats(min_value=0.0, max_value=3.0,
+              allow_nan=False, allow_infinity=False),
+)
+tau_values = st.one_of(
+    st.sampled_from([0.0, 0.5, 1.0, 2.5, 100.0]),
+    st.floats(min_value=0.0, max_value=10.0,
+              allow_nan=False, allow_infinity=False),
+)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def record_pool(heuristics=("h",), min_size=1, max_size=12):
+    def build(draw_list):
+        return [
+            TrialRecord(
+                heuristic=h, instance="i", seed=i, cut=cut,
+                runtime_seconds=t, legal=True,
+            )
+            for i, (h, cut, t) in enumerate(draw_list)
+        ]
+
+    return st.lists(
+        st.tuples(st.sampled_from(list(heuristics)), cut_values,
+                  runtime_values),
+        min_size=min_size,
+        max_size=max_size,
+    ).map(build)
+
+
+class TestBootstrapEquivalence:
+    @SETTINGS
+    @given(rs=record_pool(), tau=tau_values, seed=seeds,
+           num_shuffles=st.integers(1, 40))
+    def test_c_tau_samples_matches_oracle(self, rs, tau, seed, num_shuffles):
+        kernel = c_tau_samples(rs, tau, num_shuffles=num_shuffles, seed=seed)
+        oracle = _seed_eval.c_tau_samples(
+            rs, tau, num_shuffles, random.Random(seed)
+        )
+        assert kernel == oracle
+
+    @SETTINGS
+    @given(rs=record_pool(), tau=tau_values, seed=seeds)
+    def test_single_record_pool(self, rs, tau, seed):
+        rs = rs[:1]
+        kernel = c_tau_samples(rs, tau, num_shuffles=10, seed=seed)
+        oracle = _seed_eval.c_tau_samples(rs, tau, 10, random.Random(seed))
+        assert kernel == oracle
+
+    @SETTINGS
+    @given(rs=record_pool(),
+           taus=st.lists(tau_values, min_size=1, max_size=5),
+           seed=seeds)
+    def test_curve_entries_match_fresh_rng_oracle(self, rs, taus, seed):
+        curve = expected_bsf_curve(rs, taus, num_shuffles=20, seed=seed)
+        for tau, value in curve:
+            samples = _seed_eval.c_tau_samples(
+                rs, tau, 20, random.Random(seed)
+            )
+            expected = sum(samples) / len(samples) if samples else None
+            assert value == expected
+
+    @SETTINGS
+    @given(rs=record_pool(), tau=tau_values, target=cut_values, seed=seeds)
+    def test_probability_reaching_matches_oracle(self, rs, tau, target, seed):
+        kernel = probability_reaching(
+            rs, tau, target, num_shuffles=30, seed=seed
+        )
+        oracle = _seed_eval.probability_reaching(
+            rs, tau, target, 30, random.Random(seed)
+        )
+        assert kernel == oracle
+
+    @SETTINGS
+    @given(rs=record_pool(heuristics=("a", "b", "c"), min_size=1, max_size=18),
+           taus=st.lists(tau_values, min_size=1, max_size=4, unique=True),
+           base_seed=seeds)
+    def test_ranking_matches_composed_oracle(self, rs, taus, base_seed):
+        taus = sorted(taus)
+        diagram = ranking_diagram(
+            rs, taus=taus, num_shuffles=15, base_seed=base_seed
+        )
+        oracle = _seed_eval.ranking_diagram_oracle(
+            rs, taus, num_shuffles=15, base_seed=base_seed
+        )
+        assert diagram.mean_ctau == oracle
+
+    def test_zero_runtime_pool(self):
+        # All-zero runtimes: every start fits any non-negative budget.
+        rs = [
+            TrialRecord(heuristic="h", instance="i", seed=s, cut=float(c),
+                        runtime_seconds=0.0, legal=True)
+            for s, c in enumerate([9, 3, 7])
+        ]
+        for tau in (0.0, 1.0):
+            kernel = c_tau_samples(rs, tau, num_shuffles=25, seed=4)
+            oracle = _seed_eval.c_tau_samples(rs, tau, 25, random.Random(4))
+            assert kernel == oracle
+            assert kernel and all(s == 3.0 for s in kernel)
+
+    def test_derived_seeds_distinct_per_heuristic(self):
+        assert eval_seed(0, "a") != eval_seed(0, "b")
+        assert eval_seed(0, "a") != eval_seed(1, "a")
+        assert eval_seed(0, "a") == eval_seed(0, "a")
+
+
+class TestFrontierEquivalence:
+    points = st.lists(
+        st.tuples(st.integers(0, 10).map(float), st.integers(0, 10).map(float)),
+        min_size=0,
+        max_size=40,
+    )
+
+    @SETTINGS
+    @given(raw=points)
+    def test_sweep_matches_quadratic_oracle(self, raw):
+        pts = [
+            PerfPoint(cost=c, time=t, label=f"p{i}")
+            for i, (c, t) in enumerate(raw)
+        ]
+        assert non_dominated(pts) == _seed_eval.non_dominated(pts)
+
+    def test_all_tied_points_survive(self):
+        # Strict dominance: identical points cannot dominate each other,
+        # so the frontier keeps all of them, in input order.
+        pts = [PerfPoint(cost=5.0, time=5.0, label=f"p{i}") for i in range(4)]
+        assert non_dominated(pts) == _seed_eval.non_dominated(pts)
+        assert len(non_dominated(pts)) == 4

@@ -6,6 +6,7 @@ import pytest
 
 from repro.evaluation import (
     PerfPoint,
+    RankingDiagram,
     TrialRecord,
     best_for_budget,
     dominates,
@@ -116,6 +117,56 @@ class TestRanking:
         winners = [w for _, _, w in regions]
         assert winners[0] == "fast"
         assert winners[-1] == "strong"
+
+    def test_regions_keep_interior_none_gap(self):
+        # Regression: an interior regime where no heuristic has samples
+        # used to be silently merged away; now it is its own region.
+        diagram = RankingDiagram(
+            taus=[1.0, 2.0, 3.0], mean_ctau={"A": [1.0, None, 1.0]}
+        )
+        assert diagram.dominance_regions() == [
+            (1.0, 1.0, "A"),
+            (2.0, 2.0, None),
+            (3.0, 3.0, "A"),
+        ]
+
+    def test_regions_final_region_not_zero_width(self):
+        # Regression: the last region used to come out as the degenerate
+        # half-open [tau_n, tau_n) and a winner change at the final grid
+        # point was lost.  Runs now end at the last tau they cover.
+        diagram = RankingDiagram(
+            taus=[1.0, 2.0, 3.0],
+            mean_ctau={"A": [1.0, 1.0, 3.0], "B": [2.0, 2.0, 1.0]},
+        )
+        assert diagram.dominance_regions() == [
+            (1.0, 2.0, "A"),
+            (3.0, 3.0, "B"),
+        ]
+
+    def test_regions_partition_grid(self):
+        diagram = ranking_diagram(
+            self._records(), taus=[0.15, 0.3, 5.0, 10.0], num_shuffles=50
+        )
+        regions = diagram.dominance_regions()
+        covered = []
+        for lo, hi, _ in regions:
+            i, j = diagram.taus.index(lo), diagram.taus.index(hi)
+            assert i <= j
+            covered.extend(diagram.taus[i : j + 1])
+        assert covered == diagram.taus
+
+    def test_mean_ctau_independent_of_competitors(self):
+        # Each heuristic's bootstrap RNG is derived from (base_seed,
+        # heuristic name) alone, so adding a competitor's records must
+        # not perturb an incumbent's curve.
+        rs = self._records()
+        alone = ranking_diagram(
+            [r for r in rs if r.heuristic == "fast"],
+            taus=[0.15, 0.3, 5.0],
+            num_shuffles=60,
+        )
+        together = ranking_diagram(rs, taus=[0.15, 0.3, 5.0], num_shuffles=60)
+        assert together.mean_ctau["fast"] == alone.mean_ctau["fast"]
 
     def test_render(self):
         diagram = ranking_diagram(

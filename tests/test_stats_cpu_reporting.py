@@ -1,5 +1,6 @@
 """Tests for significance tests, CPU normalization and table rendering."""
 
+import dataclasses
 import random
 
 import pytest
@@ -102,6 +103,23 @@ class TestCpuNorm:
         assert out[1].runtime_seconds == pytest.approx(8.0)
         # Everything else preserved.
         assert out[0].cut == 10
+
+    def test_normalize_round_trips_every_other_field(self):
+        # Regression: normalize used to rebuild TrialRecord field by
+        # field, silently dropping any field added to the dataclass
+        # later.  It now goes through dataclasses.replace, so every
+        # field except runtime_seconds must survive unchanged.
+        norm = CpuNormalizer(global_factor=3.0)
+        r = TrialRecord(
+            heuristic="h", instance="inst", seed=7, cut=42.5,
+            runtime_seconds=2.0, legal=False,
+        )
+        (out,) = norm.normalize([r])
+        assert out.runtime_seconds == pytest.approx(6.0)
+        for field in dataclasses.fields(TrialRecord):
+            if field.name == "runtime_seconds":
+                continue
+            assert getattr(out, field.name) == getattr(r, field.name)
 
     def test_calibrate(self):
         norm = CpuNormalizer.calibrate(

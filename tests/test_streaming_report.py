@@ -1,0 +1,268 @@
+"""Tests for live streaming reports tailed from a campaign journal."""
+
+import io
+import json
+
+import pytest
+
+from repro.evaluation.campaign import CampaignResult
+from repro.evaluation.streaming import (
+    JournalTail,
+    ReportBuilder,
+    follow_report,
+)
+from repro.orchestrate import RunStore, TrialOutcome
+
+
+def outcome(trial, h="fm", cut=30.0, t=0.5, seed=None, status="ok"):
+    return TrialOutcome(
+        trial=trial,
+        status=status,
+        heuristic=h,
+        instance="inst",
+        seed=trial if seed is None else seed,
+        cut=cut if status == "ok" else None,
+        runtime_seconds=t if status == "ok" else None,
+        legal=(status == "ok") or None,
+        error=None if status == "ok" else "boom",
+    )
+
+
+def plan(n=8):
+    """A deterministic two-heuristic plan with paired seeds, so the
+    report's Wilcoxon matrix and ranking have real content."""
+    out = []
+    for i in range(n):
+        h = "fast" if i % 2 == 0 else "strong"
+        seed = i // 2
+        cut = (30.0 + seed) if h == "fast" else (15.0 + seed)
+        t = 0.1 if h == "fast" else 1.0
+        out.append(outcome(i, h=h, cut=cut, t=t, seed=seed))
+    return out
+
+
+def make_store(tmp_path, total=8, name="live-test", alpha=0.05):
+    store = RunStore(tmp_path / "campaign")
+    store.initialize({"name": name, "total_trials": total, "alpha": alpha})
+    return store
+
+
+class TestJournalTail:
+    def test_incremental_polls(self, tmp_path):
+        store = make_store(tmp_path)
+        tail = JournalTail(store)
+        assert tail.poll() == 0  # journal does not exist yet
+
+        for o in plan()[:2]:
+            store.append(o)
+        assert tail.poll() == 2
+        store.append(plan()[2])
+        assert tail.poll() == 1
+        assert tail.poll() == 0  # nothing new
+        assert [o.trial for o in tail.outcomes()] == [0, 1, 2]
+
+    def test_matches_batch_reader(self, tmp_path):
+        store = make_store(tmp_path)
+        tail = JournalTail(store)
+        for o in plan():
+            store.append(o)
+        tail.poll()
+        assert tail.outcomes() == store.outcomes()
+        assert tail.records() == store.records()
+
+    def test_duplicate_trial_last_wins(self, tmp_path):
+        store = make_store(tmp_path)
+        tail = JournalTail(store)
+        store.append(outcome(0, cut=99.0))
+        tail.poll()
+        store.append(outcome(0, cut=11.0))  # retry overwrote the trial
+        tail.poll()
+        (only,) = tail.outcomes()
+        assert only.cut == 11.0
+        assert tail.outcomes() == store.outcomes()
+
+    def test_torn_tail_not_consumed_until_newline(self, tmp_path):
+        store = make_store(tmp_path)
+        tail = JournalTail(store)
+        store.append(plan()[0])
+        assert tail.poll() == 1
+
+        # A writer mid-append: full line + partial next line, no newline.
+        import dataclasses
+
+        torn = json.dumps(dataclasses.asdict(plan()[1]))
+        with open(store.journal_path, "a") as f:
+            f.write(torn[: len(torn) // 2])
+        assert tail.poll() == 0  # torn tail left for the next poll
+        with open(store.journal_path, "a") as f:
+            f.write(torn[len(torn) // 2 :] + "\n")
+        assert tail.poll() == 1
+        assert [o.trial for o in tail.outcomes()] == [0, 1]
+
+    def test_corrupt_complete_line_skipped(self, tmp_path):
+        store = make_store(tmp_path)
+        tail = JournalTail(store)
+        store.append(plan()[0])
+        with open(store.journal_path, "a") as f:
+            f.write("{not json\n")
+        store.append(plan()[1])
+        assert tail.poll() == 2  # corrupt line skipped, both real ones in
+        assert tail.outcomes() == store.outcomes()
+
+
+class TestReportBuilder:
+    def test_mid_campaign_snapshot(self, tmp_path):
+        store = make_store(tmp_path)
+        trials = plan()
+        for o in trials[:5]:
+            store.append(o)
+        with open(store.journal_path, "a") as f:
+            f.write('{"trial": 5, "status"')  # torn mid-write
+
+        builder = ReportBuilder(store, num_shuffles=20)
+        builder.refresh()
+        assert builder.done == 5
+        assert not builder.complete()
+        assert "5/8" in builder.status_line()
+        text = builder.render()
+        assert "Campaign: live-test" in text
+        assert "fast" in text and "strong" in text
+        # The snapshot equals the post-hoc report over the same records.
+        expected = CampaignResult(
+            spec_name="live-test",
+            records=[o.to_record() for o in trials[:5] if o.ok],
+            alpha=0.05,
+        ).report(num_shuffles=20)
+        assert text == expected
+
+    def test_complete_report_identical_to_post_hoc(self, tmp_path):
+        store = make_store(tmp_path)
+        builder = ReportBuilder(store, num_shuffles=20)
+        for o in plan():
+            store.append(o)
+            builder.refresh()
+            builder.render()  # interleaved renders must not perturb state
+        assert builder.complete()
+        post_hoc = CampaignResult(
+            spec_name="live-test", records=store.records(), alpha=0.05
+        ).report(num_shuffles=20)
+        assert builder.render() == post_hoc
+
+    def test_error_outcomes_counted_but_not_reported(self, tmp_path):
+        store = make_store(tmp_path, total=4)
+        trials = plan(4)
+        store.append(trials[0])
+        store.append(trials[1])
+        store.append(outcome(2, h="fast", status="error"))
+        store.append(trials[3])
+        builder = ReportBuilder(store, num_shuffles=10)
+        builder.refresh()
+        assert builder.complete()  # errors still count as resolved
+        assert "3 ok, 1 errors" in builder.status_line()
+        assert len(builder.records()) == 3
+
+    def test_kernel_caches_reused_across_refreshes(self, tmp_path):
+        store = make_store(tmp_path)
+        builder = ReportBuilder(store, num_shuffles=20)
+        for o in plan()[:4]:
+            store.append(o)
+        builder.refresh()
+        first = builder.render()
+        assert "inst" in builder._caches
+        cache = builder._caches["inst"]
+        # No new records: a re-render reuses the same cache object and
+        # is deterministic.
+        assert builder.render() == first
+        assert builder._caches["inst"] is cache
+
+    def test_meta_alpha_respected(self, tmp_path):
+        store = make_store(tmp_path, alpha=0.01)
+        for o in plan():
+            store.append(o)
+        builder = ReportBuilder(store, num_shuffles=10)
+        builder.refresh()
+        assert "alpha=0.01" in builder.render()
+
+    def test_missing_meta_raises(self, tmp_path):
+        store = RunStore(tmp_path / "nope")
+        with pytest.raises(FileNotFoundError):
+            ReportBuilder(store)
+
+
+class TestFollowReport:
+    def test_follows_until_complete(self, tmp_path):
+        store = make_store(tmp_path)
+        trials = plan()
+        for o in trials[:3]:
+            store.append(o)
+        builder = ReportBuilder(store, num_shuffles=20)
+
+        remaining = list(trials[3:])
+
+        def fake_sleep(_):
+            # Each "wait" lands two more outcomes, like a live campaign.
+            for o in remaining[:2]:
+                store.append(o)
+            del remaining[:2]
+
+        status = io.StringIO()
+        text = follow_report(builder, interval=0.0, stream=status,
+                             sleep=fake_sleep)
+        assert builder.complete()
+        assert not remaining
+        post_hoc = CampaignResult(
+            spec_name="live-test", records=store.records(), alpha=0.05
+        ).report(num_shuffles=20)
+        assert text == post_hoc
+        assert "8/8" in status.getvalue()
+
+    def test_max_polls_bounds_the_loop(self, tmp_path):
+        store = make_store(tmp_path)
+        for o in plan()[:4]:
+            store.append(o)
+        builder = ReportBuilder(store, num_shuffles=10)
+        sleeps = []
+        text = follow_report(
+            builder, interval=0.0, stream=io.StringIO(),
+            sleep=sleeps.append, max_polls=3,
+        )
+        assert len(sleeps) == 2  # polls 1..2 sleep; poll 3 exits
+        assert not builder.complete()
+        assert "Campaign: live-test" in text
+
+
+class TestLiveReportCLI:
+    def _fill(self, tmp_path, k):
+        store = make_store(tmp_path)
+        for o in plan()[:k]:
+            store.append(o)
+        return store
+
+    def test_live_on_partial_journal(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = self._fill(tmp_path, 6)
+        with open(store.journal_path, "a") as f:
+            f.write('{"torn')  # campaign still mid-write
+        assert main(
+            ["campaign", "report", str(store.directory),
+             "--live", "--num-shuffles", "10"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Campaign: live-test" in captured.out
+        assert "6/8" in captured.err
+
+    def test_follow_matches_post_hoc_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = self._fill(tmp_path, 8)
+        assert main(
+            ["campaign", "report", str(store.directory),
+             "--follow", "--interval", "0", "--num-shuffles", "10"]
+        ) == 0
+        live_out = capsys.readouterr().out
+        assert main(
+            ["campaign", "report", str(store.directory),
+             "--num-shuffles", "10"]
+        ) == 0
+        assert live_out == capsys.readouterr().out

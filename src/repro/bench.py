@@ -62,12 +62,19 @@ from repro.evaluation.bsf import BootstrapKernel, default_tau_grid, eval_seed
 from repro.evaluation.records import TrialRecord, group_by
 from repro.instances.suite import suite_instance
 from repro.multilevel.mlpart import MLConfig, MLPartitioner
+from repro.hypergraph.shm import shm_available
 from repro.multilevel.pool import (
     HierarchyPool,
     build_hierarchy,
     hierarchy_seed,
     run_multistart_pooled,
 )
+from repro.orchestrate._seed_executor import (
+    SeedExecutionPolicy,
+    seed_execute_trials,
+)
+from repro.orchestrate.executor import ExecutionPolicy, execute_trials
+from repro.orchestrate.plan import TrialPlan
 
 #: Named kernel configurations the bench exercises.  Flat LIFO FM and
 #: CLIP are the two production hot paths; both run with the corking
@@ -554,5 +561,205 @@ def render_ml_bench(result: Dict[str, object]) -> str:
         f"bit-identical: {'yes' if result['equivalent'] else 'NO'}",
         f"best cut: {result['best_cut']:g} over cuts "
         f"{[int(c) if float(c).is_integer() else c for c in result['cuts']]}",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Campaign orchestration plane (``repro bench orchestrate``)
+# ----------------------------------------------------------------------
+def _outcome_key(outcomes) -> List[tuple]:
+    """Timing-free identity of an outcome stream (order included)."""
+    return [
+        (o.trial, o.status, o.heuristic, o.instance, o.seed, o.cut, o.legal)
+        for o in outcomes
+    ]
+
+
+def bench_orchestrate(
+    instance: str = "ibm01s",
+    scale: int = 16,
+    repeats: int = 3,
+    num_starts: int = 48,
+    workers: int = 2,
+    pool_size: int = 1,
+    seed: int = 0,
+    tolerance: float = 0.1,
+) -> Dict[str, object]:
+    """Short-trial campaign: pre-PR worker pool vs the shm/batched pool.
+
+    Baseline (frozen in :mod:`repro.orchestrate._seed_executor`): the
+    PR-1 pool — full instance copies per worker, one task/result queue
+    round-trip per trial, 50 ms poll granularity, re-pickled respawn
+    payloads, and every multilevel trial rebuilding its coarsening
+    hierarchy from scratch.  Subject: the production executor with the
+    shared-memory instance plane, adaptively batched dispatch and sticky
+    per-worker hierarchy caches (``pool_size`` hierarchies per
+    (heuristic, instance) block).
+
+    The workload is the short-trial regime the orchestrator exists for:
+    a coarsening-dominated multilevel configuration (no refinement
+    passes, single initial start) running ``num_starts`` independent
+    starts, where per-trial dispatch overhead and repeated coarsening
+    dominate.  Campaigns with heavier refinement see proportionally
+    less benefit — sticky caches only remove the coarsening share.
+
+    Equivalence is two exact record-stream comparisons, both required:
+
+    * transport/batching change nothing — the subject executor with the
+      sticky cache *off* reproduces the frozen pool's outcome stream
+      bit for bit, which also pins the shm attach path;
+    * sticky parallel ≡ sticky serial — the timed sticky pool run
+      reproduces an inline run under the same policy bit for bit
+      (hierarchy selection keys on the trial's start index, never on
+      worker identity).
+
+    Timings are end-to-end wall clock per campaign; reported times are
+    minima over ``repeats`` with baseline and subject interleaved.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if num_starts < 1:
+        raise ValueError("num_starts must be >= 1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    hg = suite_instance(instance, scale=scale)
+    instances = {instance: hg}
+    config = MLConfig(refine_passes=0, initial_starts=1)
+    heuristics = {
+        "ml-fast": MLPartitioner(config, tolerance=tolerance, name="ml-fast")
+    }
+    trials = [
+        TrialPlan(
+            index=i,
+            heuristic="ml-fast",
+            instance=instance,
+            seed=seed + i,
+            start=i,
+        )
+        for i in range(num_starts)
+    ]
+
+    seed_policy = SeedExecutionPolicy(workers=workers)
+    plain_policy = ExecutionPolicy(workers=workers)
+    sticky_policy = ExecutionPolicy(
+        workers=workers, sticky_cache=True, sticky_pool_size=pool_size
+    )
+    sticky_inline = ExecutionPolicy(
+        sticky_cache=True, sticky_pool_size=pool_size
+    )
+
+    base_secs: List[float] = []
+    subj_secs: List[float] = []
+    base_key: List[tuple] = []
+    subj_key: List[tuple] = []
+    equivalent = True
+    for rep in range(repeats):
+        t0 = time.perf_counter()
+        base_out = seed_execute_trials(
+            trials, heuristics, instances, policy=seed_policy
+        )
+        base_secs.append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        subj_out = execute_trials(
+            trials, heuristics, instances, policy=sticky_policy
+        )
+        subj_secs.append(time.perf_counter() - t0)
+
+        kb, ks = _outcome_key(base_out), _outcome_key(subj_out)
+        if rep == 0:
+            base_key, subj_key = kb, ks
+        # Deterministic across repeats (each stream equals its first).
+        equivalent = equivalent and kb == base_key and ks == subj_key
+
+    # Transport equivalence: new executor minus the sticky cache must
+    # reproduce the frozen pool's stream exactly (shm + batching are
+    # pure transport).  Sticky equivalence: the timed parallel sticky
+    # stream must equal an inline run under the same policy.  The extra
+    # pool run also collects perf counters (untimed — collection adds
+    # wire weight the timed runs don't carry).
+    plain_out = execute_trials(
+        trials, heuristics, instances, policy=plain_policy
+    )
+    inline_out = execute_trials(
+        trials, heuristics, instances, policy=sticky_inline
+    )
+    perf_totals: Dict[str, PerfCounters] = {}
+    perf_out = execute_trials(
+        trials,
+        heuristics,
+        instances,
+        policy=sticky_policy,
+        perf_totals=perf_totals,
+    )
+    transport_equivalent = _outcome_key(plain_out) == base_key
+    sticky_equivalent = (
+        _outcome_key(inline_out) == subj_key
+        and _outcome_key(perf_out) == subj_key
+    )
+    equivalent = equivalent and transport_equivalent and sticky_equivalent
+
+    best_base = min(base_secs)
+    best_subj = min(subj_secs)
+    speedup = best_base / best_subj if best_subj > 0 else float("inf")
+    perf = perf_totals.get("ml-fast", PerfCounters())
+    cuts = [k[5] for k in subj_key]
+    return {
+        "benchmark": "orchestrate",
+        "instance": {
+            "name": instance,
+            "scale": scale,
+            "num_vertices": hg.num_vertices,
+            "num_nets": hg.num_nets,
+            "num_pins": hg.num_pins,
+        },
+        "repeats": repeats,
+        "num_starts": num_starts,
+        "workers": workers,
+        "pool_size": pool_size,
+        "seed": seed,
+        "tolerance": tolerance,
+        "shared_memory": shm_available(),
+        "baseline_seconds": base_secs,
+        "subject_seconds": subj_secs,
+        "best_baseline_seconds": best_base,
+        "best_subject_seconds": best_subj,
+        "speedup": speedup,
+        "equivalent": equivalent,
+        "transport_equivalent": transport_equivalent,
+        "sticky_equivalent": sticky_equivalent,
+        "cuts": cuts,
+        "best_cut": min(cuts),
+        "perf": perf.as_dict(),
+    }
+
+
+def render_orchestrate_bench(result: Dict[str, object]) -> str:
+    """Human-readable summary for one :func:`bench_orchestrate` result."""
+    inst = result["instance"]
+    perf = result.get("perf") or {}
+    lines = [
+        f"Campaign orchestration bench — {inst['name']} (scale "
+        f"{inst['scale']}: {inst['num_vertices']} cells, "
+        f"{inst['num_nets']} nets, {inst['num_pins']} pins), "
+        f"{result['num_starts']} trial(s), {result['workers']} worker(s), "
+        f"sticky pool size {result['pool_size']}, "
+        f"{result['repeats']} repeat(s), shared memory "
+        f"{'on' if result['shared_memory'] else 'OFF (pickling fallback)'}",
+        "",
+        f"pre-PR pool:       {result['best_baseline_seconds']:8.3f} s "
+        f"(instance copies per worker, per-trial dispatch, "
+        f"hierarchy rebuilt every trial)",
+        f"shm/batched pool:  {result['best_subject_seconds']:8.3f} s "
+        f"({perf.get('hierarchies_built', '?')} hierarchies built, "
+        f"{perf.get('hierarchies_reused', '?')} reused)",
+        "",
+        f"speedup: {result['speedup']:.2f}x — records bit-identical: "
+        f"{'yes' if result['equivalent'] else 'NO'} "
+        f"(transport {'ok' if result['transport_equivalent'] else 'FAIL'}, "
+        f"sticky {'ok' if result['sticky_equivalent'] else 'FAIL'})",
+        f"best cut: {result['best_cut']:g}",
     ]
     return "\n".join(lines)

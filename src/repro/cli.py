@@ -290,12 +290,68 @@ def cmd_bench_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_orchestrate(args: argparse.Namespace) -> int:
+    """Campaign orchestration bench vs the frozen pre-PR worker pool.
+
+    Prints a summary, writes machine-readable JSON, and gates: exit
+    code 1 when the shm/batched/sticky pool is below ``--min-speedup``
+    or any record stream diverges (transport vs the frozen pool, sticky
+    parallel vs sticky serial).
+    """
+    from repro.bench import (
+        bench_orchestrate,
+        render_orchestrate_bench,
+        write_bench_json,
+    )
+
+    result = bench_orchestrate(
+        instance=args.instance,
+        scale=args.scale,
+        repeats=args.repeats,
+        num_starts=args.num_starts,
+        workers=args.workers,
+        pool_size=args.pool_size,
+        seed=args.seed,
+        tolerance=args.tolerance,
+    )
+    print(render_orchestrate_bench(result))
+    write_bench_json(result, args.output)
+    print(f"\nwrote {args.output}")
+    if not result["equivalent"]:
+        print(
+            "error: orchestrated records diverged "
+            f"(transport ok: {result['transport_equivalent']}, "
+            f"sticky ok: {result['sticky_equivalent']})",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_speedup and result["speedup"] < args.min_speedup:
+        print(
+            f"error: speedup {result['speedup']:.2f}x below required "
+            f"{args.min_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
+def _print_perf_totals(store) -> None:
+    """Per-heuristic kernel counters aggregated across all workers
+    (``perf.json``, campaign-cumulative across resumes)."""
+    totals = store.load_perf()
+    if not totals:
+        return
+    print("\nkernel work by heuristic (all workers):")
+    for name, perf in sorted(totals.items()):
+        print(f"  {name:28s} {perf.summary()}")
+
+
 def cmd_campaign_run(args: argparse.Namespace) -> int:
     """Orchestrated campaign: parallel workers + crash-safe journal."""
     from pathlib import Path
 
-    from repro.orchestrate import ProgressPrinter, orchestrate_campaign
+    from repro.orchestrate import ProgressPrinter, RunStore, orchestrate_campaign
 
     spec = _campaign_spec(args)
     cli_meta = {
@@ -309,6 +365,10 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         timeout_seconds=args.timeout,
         max_retries=args.retries,
+        batch_size=args.batch_size,
+        sticky_cache=args.sticky_cache,
+        sticky_pool_size=args.sticky_pool_size,
+        use_shared_memory=not args.no_shared_memory,
         progress=ProgressPrinter() if args.progress else None,
         resume=args.resume,
         cli_meta=cli_meta,
@@ -318,6 +378,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     (out / "report.txt").write_text(
         result.report(num_shuffles=args.num_shuffles), encoding="utf-8"
     )
+    _print_perf_totals(RunStore(out))
     print(f"\njournal and report under {out}")
     return 0
 
@@ -352,6 +413,10 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
         workers=args.workers,
         timeout_seconds=args.timeout,
         max_retries=args.retries,
+        batch_size=args.batch_size,
+        sticky_cache=args.sticky_cache,
+        sticky_pool_size=args.sticky_pool_size,
+        use_shared_memory=not args.no_shared_memory,
         progress=ProgressPrinter() if args.progress else None,
         resume=True,
     )
@@ -359,36 +424,63 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
     (Path(args.campaign_dir) / "report.txt").write_text(
         result.report(num_shuffles=args.num_shuffles), encoding="utf-8"
     )
+    _print_perf_totals(store)
     print(f"\njournal and report under {args.campaign_dir}")
     return 0
 
 
 def cmd_campaign_status(args: argparse.Namespace) -> int:
-    """Print journal progress of a (possibly running) campaign."""
+    """Print journal progress of a (possibly running) campaign.
+
+    The journal is read through the streaming
+    :class:`~repro.evaluation.streaming.JournalTail`, so one invocation
+    parses it exactly once, and ``--watch`` re-reads only the bytes
+    appended since the previous check instead of the whole file.
+    """
+    import time
+
+    from repro.evaluation.streaming import JournalTail
     from repro.orchestrate import RunStore
 
     store = RunStore(args.campaign_dir)
     meta = store.load_meta()
-    status = store.status()
-    print(f"campaign:  {meta['name']}")
-    print(f"spec hash: {meta['spec_hash']}")
-    print(
-        f"trials:    {status.done}/{status.total} journaled "
-        f"({status.ok} ok, {status.errors} errors, "
-        f"{status.remaining} remaining)"
-    )
-    best = {}
-    for o in store.outcomes():
-        if o.ok and (o.instance not in best or o.cut < best[o.instance]):
-            best[o.instance] = o.cut
-    for inst, cut in sorted(best.items()):
-        print(f"best cut:  {inst} = {cut:g}")
-    for o in store.errors():
-        first_line = (o.error or "").splitlines()[-1] if o.error else "?"
+    tail = JournalTail(store)
+    total = int(meta.get("total_trials", 0))
+
+    def render() -> int:
+        tail.poll()
+        outcomes = tail.outcomes()
+        done = len(outcomes)
+        ok = sum(1 for o in outcomes if o.ok)
+        print(f"campaign:  {meta['name']}")
+        print(f"spec hash: {meta['spec_hash']}")
         print(
-            f"error:     trial {o.trial} ({o.heuristic} on {o.instance}, "
-            f"seed {o.seed}, {o.attempts} attempt(s)): {first_line}"
+            f"trials:    {done}/{total or done} journaled "
+            f"({ok} ok, {done - ok} errors, "
+            f"{max(total - done, 0)} remaining)"
         )
+        best = {}
+        for o in outcomes:
+            if o.ok and (o.instance not in best or o.cut < best[o.instance]):
+                best[o.instance] = o.cut
+        for inst, cut in sorted(best.items()):
+            print(f"best cut:  {inst} = {cut:g}")
+        for o in outcomes:
+            if o.ok:
+                continue
+            first_line = (o.error or "").splitlines()[-1] if o.error else "?"
+            print(
+                f"error:     trial {o.trial} ({o.heuristic} on "
+                f"{o.instance}, seed {o.seed}, {o.attempts} "
+                f"attempt(s)): {first_line}"
+            )
+        return done
+
+    done = render()
+    while args.watch and done < total:
+        time.sleep(args.interval)
+        print()
+        done = render()
     return 0
 
 
@@ -565,11 +657,59 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("-o", "--output", default="BENCH_eval_bootstrap.json")
     b.set_defaults(func=cmd_bench_eval)
 
+    b = bsub.add_parser(
+        "orchestrate",
+        help="campaign orchestration plane vs the frozen pre-PR worker "
+        "pool (writes BENCH_orchestrate.json)",
+    )
+    b.add_argument("--instance", default="ibm01s",
+                   help="synthetic suite instance (default ibm01s)")
+    b.add_argument("--scale", type=int, default=16,
+                   help="suite scale divisor (default 16 = acceptance size)")
+    b.add_argument("--repeats", type=int, default=3,
+                   help="timed campaigns per pool (min is reported)")
+    b.add_argument("--num-starts", type=int, default=48,
+                   help="short trials in the campaign (default 48)")
+    b.add_argument("--workers", type=int, default=2,
+                   help="pool workers for both pools (default 2)")
+    b.add_argument("--pool-size", type=int, default=1,
+                   help="hierarchies per sticky cache block (default 1)")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--tolerance", type=float, default=0.1)
+    b.add_argument("--min-speedup", type=float, default=2.0,
+                   help="fail (exit 1) below this end-to-end speedup "
+                   "(default 2.0; pass 0 to disable the gate)")
+    b.add_argument("-o", "--output", default="BENCH_orchestrate.json")
+    b.set_defaults(func=cmd_bench_orchestrate)
+
     p = sub.add_parser(
         "campaign",
         help="orchestrated campaigns: parallel, journaled, resumable",
     )
     csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    def add_dispatch_flags(c: argparse.ArgumentParser) -> None:
+        """Pool dispatch knobs shared by ``run`` and ``resume``; none of
+        them changes any record, only where the time goes."""
+        c.add_argument(
+            "--batch-size", type=int, default=None,
+            help="trials per worker dispatch (default: adaptive from "
+            "observed trial runtime)",
+        )
+        c.add_argument(
+            "--sticky-cache", action="store_true",
+            help="keep per-worker hierarchy pools so consecutive trials "
+            "on one instance reuse coarsening (multilevel engines)",
+        )
+        c.add_argument(
+            "--sticky-pool-size", type=int, default=2,
+            help="hierarchies per sticky pool (default 2)",
+        )
+        c.add_argument(
+            "--no-shared-memory", action="store_true",
+            help="ship instances to workers by pickling instead of the "
+            "shared-memory plane",
+        )
 
     c = csub.add_parser("run", help="run a campaign through the orchestrator")
     c.add_argument("input")
@@ -597,6 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="stream live progress events to stderr",
     )
+    add_dispatch_flags(c)
     c.set_defaults(func=cmd_campaign_run)
 
     c = csub.add_parser(
@@ -608,10 +749,20 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--retries", type=int, default=0)
     c.add_argument("--num-shuffles", type=int, default=100)
     c.add_argument("--progress", action="store_true")
+    add_dispatch_flags(c)
     c.set_defaults(func=cmd_campaign_resume)
 
     c = csub.add_parser("status", help="print journal progress")
     c.add_argument("campaign_dir")
+    c.add_argument(
+        "--watch", action="store_true",
+        help="keep printing status (incremental journal reads) until "
+        "every planned trial is journaled",
+    )
+    c.add_argument(
+        "--interval", type=float, default=2.0,
+        help="poll interval in seconds for --watch (default 2)",
+    )
     c.set_defaults(func=cmd_campaign_status)
 
     c = csub.add_parser(

@@ -75,6 +75,33 @@ class PerfCounters:
         hierarchy instead of re-coarsening.
     """
 
+    #: Deterministic event-count fields: pure functions of (instance,
+    #: seed, configuration), so aggregates over a trial set are equal no
+    #: matter where or in what order the trials ran.
+    COUNT_FIELDS = (
+        "passes",
+        "vertices_seeded",
+        "selects",
+        "moves_applied",
+        "moves_kept",
+        "moves_rolled_back",
+        "gain_updates",
+        "zero_delta_skips",
+        "noncritical_net_skips",
+        "coarsen_levels",
+        "coarsen_neighbors_touched",
+        "coarsen_nets_projected",
+        "coarsen_nets_merged",
+        "coarsen_nets_dropped",
+        "hierarchies_built",
+        "hierarchies_reused",
+    )
+
+    #: Scalar wall-clock fields: machine- and load-dependent, never
+    #: compared for equality (``pass_seconds`` is the per-pass list and
+    #: is excluded from wire formats).
+    TIMING_FIELDS = ("total_seconds", "coarsen_seconds")
+
     passes: int = 0
     vertices_seeded: int = 0
     selects: int = 0

@@ -164,6 +164,10 @@ def run_campaign(
     store_dir: Optional[Union[str, Path]] = None,
     timeout_seconds: Optional[float] = None,
     max_retries: int = 0,
+    batch_size: Optional[int] = None,
+    sticky_cache: bool = False,
+    sticky_pool_size: int = 2,
+    use_shared_memory: bool = True,
     progress=None,
     resume: bool = False,
 ) -> CampaignResult:
@@ -174,7 +178,10 @@ def run_campaign(
     to a serial run), ``store_dir`` to journal every trial for
     crash-safe ``resume``, and ``timeout_seconds`` / ``max_retries``
     to contain misbehaving trials as error records instead of aborting
-    the campaign.  The serial in-memory default is exactly the old
+    the campaign.  The dispatch knobs (``batch_size``, ``sticky_cache``,
+    ``sticky_pool_size``, ``use_shared_memory``) tune the pool's
+    shared-memory instance plane and batched dispatch without changing
+    any record.  The serial in-memory default is exactly the old
     behavior of :func:`repro.evaluation.runner.run_trials`.
     """
     from repro.orchestrate import orchestrate_campaign
@@ -185,6 +192,10 @@ def run_campaign(
         workers=workers,
         timeout_seconds=timeout_seconds,
         max_retries=max_retries,
+        batch_size=batch_size,
+        sticky_cache=sticky_cache,
+        sticky_pool_size=sticky_pool_size,
+        use_shared_memory=use_shared_memory,
         fixed_parts=fixed_parts,
         progress=progress,
         resume=resume,

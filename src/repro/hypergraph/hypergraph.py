@@ -135,6 +135,7 @@ class Hypergraph:
         validate: bool = False,
         vertex_names: Optional[List[str]] = None,
         net_names: Optional[List[str]] = None,
+        transpose: Optional[Tuple[List[int], List[int]]] = None,
     ) -> "Hypergraph":
         """Build a hypergraph directly from flat CSR arrays.
 
@@ -149,6 +150,13 @@ class Hypergraph:
         ``validate=True`` applies the same checks as the list-of-lists
         constructor (useful when adopting CSR data of uncertain origin);
         it still avoids the per-net Python list materialization.
+
+        ``transpose`` optionally supplies a precomputed
+        ``(vtx_ptr, vtx_nets)`` vertex→nets CSR, adopted on the same
+        trusted-ownership contract (it is *not* validated even under
+        ``validate=True``); without it the transpose is rebuilt by
+        counting sort.  The shared-memory attach path uses this to skip
+        the only remaining O(pins) Python-loop cost of adoption.
         """
         num_nets = len(net_ptr) - 1
         if validate:
@@ -196,11 +204,47 @@ class Hypergraph:
         hg._net_weights = net_weights
         hg._vertex_names = vertex_names
         hg._net_names = net_names
-        hg._vtx_ptr, hg._vtx_nets = _build_transpose(
-            num_vertices, num_nets, net_ptr, net_pins
-        )
+        if transpose is not None:
+            hg._vtx_ptr, hg._vtx_nets = transpose
+        else:
+            hg._vtx_ptr, hg._vtx_nets = _build_transpose(
+                num_vertices, num_nets, net_ptr, net_pins
+            )
         hg._total_vertex_weight = float(sum(vertex_weights))
         return hg
+
+    # ------------------------------------------------------------------
+    # Shared-memory transport (see repro.hypergraph.shm)
+    # ------------------------------------------------------------------
+    def to_shared(self) -> "ShmHandle":  # noqa: F821 - forward ref
+        """Export this hypergraph into a shared-memory segment.
+
+        Returns a small picklable :class:`~repro.hypergraph.shm.ShmHandle`
+        that any process can turn back into an equivalent hypergraph via
+        :meth:`from_shared` — the orchestrator's zero-copy instance
+        plane.  The caller owns the segment: pair with
+        :func:`repro.hypergraph.shm.unlink_handle` (or manage instances
+        through :class:`repro.hypergraph.shm.SharedInstanceSet`).  When
+        shared memory is unavailable the handle degrades to carrying the
+        hypergraph itself (pickling fallback).
+        """
+        from repro.hypergraph.shm import share_hypergraph
+
+        return share_hypergraph(self)
+
+    @classmethod
+    def from_shared(cls, handle, materialize: bool = True) -> "Hypergraph":
+        """Rebuild a hypergraph from a :meth:`to_shared` handle.
+
+        ``materialize=True`` copies the arrays into plain lists (fastest
+        for the FM inner loops) and releases the mapping; ``False``
+        keeps read-only numpy views into the segment (true zero-copy —
+        detach with :func:`repro.hypergraph.shm.detach_handle` when
+        done).  Results are bit-identical either way.
+        """
+        from repro.hypergraph.shm import attach_hypergraph
+
+        return attach_hypergraph(handle, materialize=materialize)
 
     # ------------------------------------------------------------------
     # Size accessors

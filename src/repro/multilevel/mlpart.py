@@ -47,6 +47,7 @@ from repro.core.engine import FMEngine
 from repro.core.initial import generate_initial
 from repro.core.partition import Partition2
 from repro.core.partitioner import PartitionResult
+from repro.core.perf import PerfCounters
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.multilevel import _seed_coarsen as _oracle
 from repro.multilevel.coarsen import CoarseLevel, coarsen
@@ -143,6 +144,18 @@ class MLPartitioner:
         self._init_engine: Optional[FMEngine] = None
         # Uncoarsening projection buffers, one per level size.
         self._proj_bufs: Dict[int, List[int]] = {}
+        #: Optional perf sink: when set, every refine call's counters
+        #: (and non-pooled coarsening work) accumulate into it.  The
+        #: orchestrator points this at a per-trial collector so
+        #: campaign reports can aggregate kernel work per heuristic.
+        self.perf: Optional[PerfCounters] = None
+
+    def _note_perf(self, result) -> None:
+        """Fold one engine result's counters into the perf sink."""
+        if self.perf is not None:
+            counters = getattr(result, "perf", None)
+            if counters is not None:
+                self.perf.merge(counters)
 
     # ------------------------------------------------------------------
     def _engines(self, balance: BalanceConstraint, rng: random.Random):
@@ -212,7 +225,12 @@ class MLPartitioner:
 
         if hierarchy is None:
             hierarchy = build_hierarchy(
-                hypergraph, cfg, rng, fixed_parts=fixed, oracle=self.oracle
+                hypergraph,
+                cfg,
+                rng,
+                fixed_parts=fixed,
+                oracle=self.oracle,
+                perf=self.perf,
             )
         else:
             if hierarchy.hypergraph is not hypergraph:
@@ -247,7 +265,7 @@ class MLPartitioner:
                 assignment,
                 [p is not None for p in level_fixed] if level_fixed else None,
             )
-            refine_engine.refine(fine_part)
+            self._note_perf(refine_engine.refine(fine_part))
             assignment = fine_part.assignment
 
         final = make_part(
@@ -312,7 +330,7 @@ class MLPartitioner:
             part = generate_initial(
                 coarsest, balance, init_cfg.initial_solution, rng, fixed
             )
-            engine.refine(part)
+            self._note_perf(engine.refine(part))
             if best is None or part.cut < best.cut:
                 best = part
         assert best is not None
@@ -367,12 +385,12 @@ class MLPartitioner:
             fixed = coarse_fixed
 
         coarse_part = make_part(hg, assignment, fixed)
-        engine.refine(coarse_part)
+        self._note_perf(engine.refine(coarse_part))
         assignment = coarse_part.assignment
         for level, level_fixed in zip(reversed(levels), reversed(fixed_per_level)):
             assignment = self._project(level, assignment)
             fine_part = make_part(level.fine, assignment, level_fixed)
-            engine.refine(fine_part)
+            self._note_perf(engine.refine(fine_part))
             assignment = fine_part.assignment
 
         # Write the improved assignment back into ``part``.

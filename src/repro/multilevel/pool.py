@@ -32,6 +32,7 @@ the allocation-free kernel).
 
 from __future__ import annotations
 
+import inspect
 import random
 import time
 from dataclasses import dataclass, field
@@ -64,6 +65,33 @@ def hierarchy_seed(base_seed: int, j: int) -> int:
     randomness are never correlated.
     """
     return base_seed + _HIERARCHY_SEED_STRIDE * (j + 1)
+
+
+def supports_hierarchy(partitioner) -> bool:
+    """True when ``partitioner`` can draw from a :class:`HierarchyPool`.
+
+    Two requirements: ``partition()`` must accept a ``hierarchy``
+    keyword, and the partitioner must expose the coarsening ``config``
+    (``clustering`` / ``coarsest_size`` / ``min_reduction``) a pool
+    needs to build hierarchies on its behalf.  The orchestrator's
+    sticky per-worker caches use this probe to decide which heuristics
+    get pooled coarsening — flat partitioners and user-supplied duck
+    types simply run unpooled.
+    """
+    partition = getattr(partitioner, "partition", None)
+    if partition is None:
+        return False
+    try:
+        sig = inspect.signature(partition)
+    except (TypeError, ValueError):  # builtins / odd callables
+        return False
+    if "hierarchy" not in sig.parameters:
+        return False
+    config = getattr(partitioner, "config", None)
+    return all(
+        hasattr(config, attr)
+        for attr in ("clustering", "coarsest_size", "min_reduction")
+    )
 
 
 @dataclass

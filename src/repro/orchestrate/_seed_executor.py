@@ -1,0 +1,352 @@
+"""FROZEN seed trial executor — the pre-shared-memory orchestration plane.
+
+This is a verbatim freeze of ``repro/orchestrate/executor.py`` as it
+stood before the shared-memory instance plane and batched dispatch
+landed, kept as the benchmark baseline for ``repro bench orchestrate``
+(the same convention as ``repro/core/_seed_engine.py`` and
+``repro/multilevel/_seed_coarsen.py``).  Its defining costs — every
+worker receives a full copy of every instance, every trial is a
+dedicated task/result queue round-trip, the supervisor polls at 50 ms
+granularity, and every respawn re-pickles the whole payload — are
+exactly what the live executor eliminates.  Do not modify; do not
+import from production code paths.
+
+Two execution paths with identical semantics:
+
+* **Inline** (``workers <= 1`` and no timeout): trials run in-process
+  in plan order.  No pickling, no subprocess startup — and exact
+  backward compatibility with the old serial runner.
+* **Pool**: ``workers`` long-lived ``multiprocessing`` processes, each
+  with a dedicated task queue so the supervisor always knows which
+  trial every worker holds.  That precise ownership is what makes hard
+  per-trial wall-clock timeouts possible: a worker that exceeds the
+  budget is terminated (SIGKILL if needed) and replaced, and its trial
+  is retried or journaled as an error — the campaign never aborts.
+
+Determinism: workers receive ``(trial_index, heuristic, instance,
+seed)`` tuples; cut values depend only on the seed, so results are
+identical to serial execution regardless of completion order.  The run
+store orders by trial index afterwards.
+
+Failure policy: an exception inside a trial, a worker crash, and a
+timeout are all *attempt failures*.  A trial is retried up to
+``max_retries`` extra times (transient failures heal), after which it
+resolves to an error outcome carrying the last error text and the
+attempt count.
+
+The pool prefers the ``fork`` start method (cheap, no pickling of the
+instance set) and falls back to the platform default elsewhere; under
+``spawn``, heuristics and hypergraphs must be picklable — all shipped
+partitioners are.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.multistart import Bipartitioner
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.orchestrate.plan import TrialPlan
+from repro.orchestrate.store import TrialOutcome
+
+#: callback(outcome, busy_workers, num_workers)
+OutcomeCallback = Callable[[TrialOutcome, int, int], None]
+
+_POLL_SECONDS = 0.05
+_JOIN_SECONDS = 2.0
+_ORPHAN_POLL_SECONDS = 5.0
+
+
+def _pool_context() -> mp.context.BaseContext:
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+def _run_one(
+    plan: TrialPlan,
+    heuristics: Dict[str, Bipartitioner],
+    instances: Dict[str, Hypergraph],
+    fixed_parts: Optional[Dict[str, Sequence[Optional[int]]]],
+) -> tuple:
+    """Execute one trial; returns (cut, runtime_seconds, legal)."""
+    partitioner = heuristics[plan.heuristic]
+    hypergraph = instances[plan.instance]
+    fp = fixed_parts.get(plan.instance) if fixed_parts else None
+    t0 = time.perf_counter()
+    result = partitioner.partition(hypergraph, seed=plan.seed, fixed_parts=fp)
+    elapsed = time.perf_counter() - t0
+    return (result.cut, elapsed, bool(result.legal))
+
+
+def _worker_main(task_q, result_q, heuristics, instances, fixed_parts):
+    """Worker loop: pull trial tuples, push result tuples, exit on None.
+
+    Idle waits are bounded so a worker notices when the supervisor was
+    SIGKILLed (reparenting changes ``getppid``) instead of lingering as
+    an orphan blocked on its queue forever.
+    """
+    parent = os.getppid()
+    while True:
+        try:
+            task = task_q.get(timeout=_ORPHAN_POLL_SECONDS)
+        except queue.Empty:
+            if os.getppid() != parent:
+                return  # supervisor is gone; don't orphan
+            continue
+        if task is None:
+            return
+        index, heuristic, instance, seed = task
+        plan = TrialPlan(
+            index=index, heuristic=heuristic, instance=instance, seed=seed
+        )
+        try:
+            payload = _run_one(plan, heuristics, instances, fixed_parts)
+            result_q.put((index, "ok", payload))
+        except Exception:
+            result_q.put((index, "error", traceback.format_exc(limit=8)))
+
+
+@dataclass
+class _PendingTrial:
+    plan: TrialPlan
+    attempts: int = 0  #: failed attempts so far
+
+
+class _Worker:
+    """A pool worker plus the supervisor's view of what it holds."""
+
+    def __init__(self, ctx, result_q, heuristics, instances, fixed_parts):
+        self.task_q = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(self.task_q, result_q, heuristics, instances, fixed_parts),
+            daemon=True,
+        )
+        self.process.start()
+        self.current: Optional[_PendingTrial] = None
+        self.started_at = 0.0
+
+    def assign(self, item: _PendingTrial) -> None:
+        self.current = item
+        self.started_at = time.monotonic()
+        p = item.plan
+        self.task_q.put((p.index, p.heuristic, p.instance, p.seed))
+
+    def shutdown(self) -> None:
+        try:
+            self.task_q.put(None)
+        except (ValueError, OSError):  # queue already closed
+            pass
+        self.process.join(timeout=_JOIN_SECONDS)
+        if self.process.is_alive():
+            self.terminate()
+
+    def terminate(self) -> None:
+        self.process.terminate()
+        self.process.join(timeout=_JOIN_SECONDS)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(timeout=_JOIN_SECONDS)
+
+
+@dataclass
+class SeedExecutionPolicy:
+    """Robustness knobs for a campaign execution."""
+
+    workers: int = 1
+    timeout_seconds: Optional[float] = None  #: per-trial wall clock
+    max_retries: int = 0  #: extra attempts after the first failure
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive")
+
+    @property
+    def use_pool(self) -> bool:
+        """Timeouts require process isolation, so a timeout forces the
+        pool even with one worker."""
+        return self.workers > 1 or self.timeout_seconds is not None
+
+
+def seed_execute_trials(
+    trials: Sequence[TrialPlan],
+    heuristics: Dict[str, Bipartitioner],
+    instances: Dict[str, Hypergraph],
+    fixed_parts: Optional[Dict[str, Sequence[Optional[int]]]] = None,
+    policy: Optional[SeedExecutionPolicy] = None,
+    on_outcome: Optional[OutcomeCallback] = None,
+) -> List[TrialOutcome]:
+    """Run every trial to an outcome (ok or error); never raises for
+    trial-level failures.  Outcomes are returned sorted by trial index;
+    ``on_outcome`` sees them in completion order, one call per trial."""
+    policy = policy or SeedExecutionPolicy()
+    if not trials:
+        return []
+    if policy.use_pool:
+        outcomes = _execute_pool(
+            trials, heuristics, instances, fixed_parts, policy, on_outcome
+        )
+    else:
+        outcomes = _execute_inline(
+            trials, heuristics, instances, fixed_parts, policy, on_outcome
+        )
+    return sorted(outcomes, key=lambda o: o.trial)
+
+
+# ----------------------------------------------------------------------
+def _ok_outcome(item: _PendingTrial, payload: tuple) -> TrialOutcome:
+    cut, elapsed, legal = payload
+    p = item.plan
+    return TrialOutcome(
+        trial=p.index,
+        status="ok",
+        heuristic=p.heuristic,
+        instance=p.instance,
+        seed=p.seed,
+        cut=cut,
+        runtime_seconds=elapsed,
+        legal=legal,
+        attempts=item.attempts + 1,
+    )
+
+
+def _error_outcome(item: _PendingTrial, message: str) -> TrialOutcome:
+    p = item.plan
+    return TrialOutcome(
+        trial=p.index,
+        status="error",
+        heuristic=p.heuristic,
+        instance=p.instance,
+        seed=p.seed,
+        error=message.strip(),
+        attempts=item.attempts,
+    )
+
+
+def _execute_inline(trials, heuristics, instances, fixed_parts, policy,
+                    on_outcome) -> List[TrialOutcome]:
+    outcomes: List[TrialOutcome] = []
+    for plan in trials:
+        item = _PendingTrial(plan)
+        while True:
+            try:
+                payload = _run_one(plan, heuristics, instances, fixed_parts)
+                outcome = _ok_outcome(item, payload)
+                break
+            except Exception:
+                item.attempts += 1
+                if item.attempts > policy.max_retries:
+                    outcome = _error_outcome(
+                        item, traceback.format_exc(limit=8)
+                    )
+                    break
+        outcomes.append(outcome)
+        if on_outcome:
+            on_outcome(outcome, 1, 1)
+    return outcomes
+
+
+def _execute_pool(trials, heuristics, instances, fixed_parts, policy,
+                  on_outcome) -> List[TrialOutcome]:
+    ctx = _pool_context()
+    result_q = ctx.Queue()
+    spawn = lambda: _Worker(ctx, result_q, heuristics, instances, fixed_parts)
+
+    pending = deque(_PendingTrial(p) for p in trials)
+    workers = [spawn() for _ in range(min(policy.workers, len(pending)))]
+    inflight: Dict[int, _Worker] = {}
+    outcomes: List[TrialOutcome] = []
+
+    def resolve(outcome: TrialOutcome) -> None:
+        outcomes.append(outcome)
+        if on_outcome:
+            busy = sum(1 for w in workers if w.current is not None)
+            on_outcome(outcome, busy, len(workers))
+
+    def fail(item: _PendingTrial, message: str) -> None:
+        item.attempts += 1
+        if item.attempts <= policy.max_retries:
+            pending.append(item)
+        else:
+            resolve(_error_outcome(item, message))
+
+    try:
+        while len(outcomes) < len(trials):
+            # 1. hand pending trials to idle live workers
+            for w in workers:
+                if not pending:
+                    break
+                if w.current is None and w.process.is_alive():
+                    item = pending.popleft()
+                    w.assign(item)
+                    inflight[item.plan.index] = w
+
+            # 2. drain results (short block, then whatever is queued)
+            messages = []
+            try:
+                messages.append(result_q.get(timeout=_POLL_SECONDS))
+                while True:
+                    messages.append(result_q.get_nowait())
+            except queue.Empty:
+                pass
+            for index, status, payload in messages:
+                w = inflight.pop(index, None)
+                if w is None:
+                    continue  # stale message from a terminated worker
+                item = w.current
+                w.current = None
+                if status == "ok":
+                    resolve(_ok_outcome(item, payload))
+                else:
+                    fail(item, payload)
+
+            # 3. enforce timeouts; recover from dead workers
+            now = time.monotonic()
+            for w in list(workers):
+                item = w.current
+                if item is None:
+                    if not w.process.is_alive() and pending:
+                        workers.remove(w)
+                        workers.append(spawn())
+                    continue
+                timed_out = (
+                    policy.timeout_seconds is not None
+                    and now - w.started_at > policy.timeout_seconds
+                )
+                died = not w.process.is_alive()
+                if not (timed_out or died):
+                    continue
+                inflight.pop(item.plan.index, None)
+                w.current = None
+                workers.remove(w)
+                w.terminate()
+                if timed_out:
+                    fail(
+                        item,
+                        f"trial exceeded wall-clock timeout of "
+                        f"{policy.timeout_seconds:g}s",
+                    )
+                else:
+                    fail(
+                        item,
+                        f"worker process died "
+                        f"(exitcode {w.process.exitcode})",
+                    )
+                if pending:
+                    workers.append(spawn())
+    finally:
+        for w in workers:
+            w.shutdown()
+    return outcomes

@@ -25,6 +25,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.core.perf import PerfCounters
 from repro.evaluation.campaign import CampaignResult, CampaignSpec
 from repro.orchestrate.events import ProgressEvent
 from repro.orchestrate.executor import ExecutionPolicy, execute_trials
@@ -82,6 +83,11 @@ class Orchestrator:
         self.plan = expand_spec(spec)
         self.errors: List[TrialOutcome] = []
         self.executed = 0  #: trials actually run in this invocation
+        #: Kernel event counters summed over this invocation's trials,
+        #: keyed by heuristic name (the count fields are deterministic,
+        #: so pool totals equal serial totals).  With a store these are
+        #: also folded into the campaign-cumulative ``perf.json``.
+        self.perf_by_heuristic: Dict[str, PerfCounters] = {}
 
     # ------------------------------------------------------------------
     def _prepare_store(self, resume: bool) -> None:
@@ -175,9 +181,11 @@ class Orchestrator:
             fixed_parts=self.fixed_parts,
             policy=self.policy,
             on_outcome=on_outcome,
+            perf_totals=self.perf_by_heuristic,
         )
 
         if self.store is not None:
+            self.store.merge_perf(self.perf_by_heuristic)
             # Canonical view: whatever the journal holds, plan-ordered.
             records = self.store.records()
             self.errors = self.store.errors()
@@ -197,6 +205,11 @@ def orchestrate_campaign(
     workers: int = 1,
     timeout_seconds: Optional[float] = None,
     max_retries: int = 0,
+    batch_size: Optional[int] = None,
+    sticky_cache: bool = False,
+    sticky_pool_size: int = 2,
+    use_shared_memory: bool = True,
+    zero_copy: bool = False,
     fixed_parts: Optional[Dict[str, Sequence[Optional[int]]]] = None,
     progress: Optional[ProgressCallback] = None,
     resume: bool = False,
@@ -207,6 +220,9 @@ def orchestrate_campaign(
     ``store_dir`` is the *parent* directory; the journal lives in
     ``store_dir/<spec.name>/`` (matching ``CampaignResult.save``).
     Without a store the campaign runs purely in memory (no resume).
+    The dispatch knobs (``batch_size`` .. ``zero_copy``) map onto
+    :class:`~repro.orchestrate.executor.ExecutionPolicy` and never
+    change results — only where the time goes.
     """
     store = RunStore(Path(store_dir) / spec.name) if store_dir else None
     orchestrator = Orchestrator(
@@ -216,6 +232,11 @@ def orchestrate_campaign(
             workers=workers,
             timeout_seconds=timeout_seconds,
             max_retries=max_retries,
+            batch_size=batch_size,
+            sticky_cache=sticky_cache,
+            sticky_pool_size=sticky_pool_size,
+            use_shared_memory=use_shared_memory,
+            zero_copy=zero_copy,
         ),
         fixed_parts=fixed_parts,
         progress=progress,

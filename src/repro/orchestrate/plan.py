@@ -34,12 +34,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass(frozen=True)
 class TrialPlan:
-    """One scheduled trial: position in the canonical order plus seed."""
+    """One scheduled trial: position in the canonical order plus seed.
+
+    ``start`` is the trial's start index *within its (heuristic,
+    instance) multistart block* — redundant with the seed
+    (``seed == base_seed + start``) but carried explicitly so executors
+    can key shared per-block state (the sticky hierarchy caches) on a
+    value that is identical no matter which worker runs the trial.
+    """
 
     index: int  #: position in the canonical expansion (journal key)
     heuristic: str
     instance: str
     seed: int
+    start: int = 0  #: start index within the multistart block
 
 
 def expand_spec(spec: "CampaignSpec") -> List[TrialPlan]:
@@ -60,6 +68,7 @@ def expand_spec(spec: "CampaignSpec") -> List[TrialPlan]:
                         heuristic=name,
                         instance=instance_name,
                         seed=spec.base_seed + i,
+                        start=i,
                     )
                 )
                 index += 1

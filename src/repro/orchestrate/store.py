@@ -30,10 +30,12 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Union
 
+from repro.core.perf import PerfCounters
 from repro.evaluation.records import TrialRecord
 
 META_FILENAME = "meta.json"
 JOURNAL_FILENAME = "journal.jsonl"
+PERF_FILENAME = "perf.json"
 
 
 @dataclass(frozen=True)
@@ -127,6 +129,10 @@ class RunStore:
     def journal_path(self) -> Path:
         return self.directory / JOURNAL_FILENAME
 
+    @property
+    def perf_path(self) -> Path:
+        return self.directory / PERF_FILENAME
+
     def exists(self) -> bool:
         """True if this directory already holds an initialized store."""
         return self.meta_path.exists()
@@ -202,6 +208,50 @@ class RunStore:
 
     def errors(self) -> List[TrialOutcome]:
         return [o for o in self.outcomes() if not o.ok]
+
+    # -- perf aggregates ------------------------------------------------
+    def merge_perf(self, totals: Dict[str, PerfCounters]) -> None:
+        """Fold per-heuristic kernel counters into ``perf.json``.
+
+        Merging (not overwriting) keeps the file campaign-cumulative
+        across resumed invocations: each invocation contributes only the
+        trials it actually executed.  Written atomically, like
+        ``meta.json``.
+        """
+        if not totals:
+            return
+        merged = self.load_perf()
+        for heuristic, perf in totals.items():
+            acc = merged.setdefault(heuristic, PerfCounters())
+            acc.merge(perf)
+        payload = {
+            name: {
+                field_name: getattr(perf, field_name)
+                for field_name in (
+                    PerfCounters.COUNT_FIELDS + PerfCounters.TIMING_FIELDS
+                )
+            }
+            for name, perf in sorted(merged.items())
+        }
+        tmp = self.perf_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, self.perf_path)
+
+    def load_perf(self) -> Dict[str, PerfCounters]:
+        """Per-heuristic counters from ``perf.json`` (empty if absent)."""
+        if not self.perf_path.exists():
+            return {}
+        raw = json.loads(self.perf_path.read_text(encoding="utf-8"))
+        out: Dict[str, PerfCounters] = {}
+        for heuristic, fields in raw.items():
+            perf = PerfCounters()
+            for field_name, value in fields.items():
+                setattr(perf, field_name, value)
+            out[heuristic] = perf
+        return out
 
     def status(self) -> StoreStatus:
         meta = self.load_meta()

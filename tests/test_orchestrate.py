@@ -314,3 +314,298 @@ class TestScale:
         parallel = orchestrate_campaign(spec, store_dir=tmp_path, workers=4)
         assert record_key(serial.records) == record_key(parallel.records)
         assert RunStore(tmp_path / "scale").status().done == 80
+
+
+# ======================================================================
+# Dispatch-plane contract: shm transport, batching and sticky caches
+# never change the outcome stream (PR 5).
+# ======================================================================
+
+from repro.core.perf import PerfCounters  # noqa: E402
+from repro.hypergraph import shm  # noqa: E402
+from repro.multilevel import MLConfig, MLPartitioner  # noqa: E402
+from repro.orchestrate import executor as executor_mod  # noqa: E402
+from repro.orchestrate.executor import execute_trials  # noqa: E402
+from repro.orchestrate.plan import TrialPlan  # noqa: E402
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        probe = shm._shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True
+
+
+needs_shm = pytest.mark.skipif(
+    not shm.HAVE_SHARED_MEMORY, reason="no multiprocessing.shared_memory"
+)
+
+
+def _mixed_workload(hg):
+    """FM (cache-ineligible) + multilevel (cache-eligible) trials."""
+    heuristics = {
+        "fm": FMPartitioner(tolerance=0.1, name="fm"),
+        "ml": MLPartitioner(
+            MLConfig(refine_passes=1, initial_starts=1),
+            tolerance=0.1,
+            name="ml",
+        ),
+    }
+    trials = [
+        TrialPlan(
+            index=idx,
+            heuristic=h,
+            instance="c100",
+            seed=10 + i,
+            start=i,
+        )
+        for idx, (h, i) in enumerate(
+            (h, i) for h in ("fm", "ml") for i in range(4)
+        )
+    ]
+    return heuristics, {"c100": hg}, trials
+
+
+def outcome_key(outcomes):
+    return [
+        (o.trial, o.status, o.heuristic, o.seed, o.cut, o.legal)
+        for o in outcomes
+    ]
+
+
+@pytest.fixture(scope="module")
+def inline_keys(hg):
+    """Serial reference streams, one per sticky setting (module-cached:
+    sticky changes which hierarchy serves each start, so it is its own
+    reference — the contract is parallel ≡ serial *under one policy*)."""
+    heuristics, instances, trials = _mixed_workload(hg)
+    keys = {}
+    for sticky in (False, True):
+        out = execute_trials(
+            trials,
+            heuristics,
+            instances,
+            policy=ExecutionPolicy(sticky_cache=sticky, sticky_pool_size=2),
+        )
+        keys[sticky] = outcome_key(out)
+    assert keys[False] != [] and keys[True] != []
+    return keys
+
+
+class TestDispatchMatrix:
+    """Every dispatch knob combination reproduces the serial stream."""
+
+    @pytest.mark.parametrize("shared", [True, False], ids=["shm", "pickle"])
+    @pytest.mark.parametrize("sticky", [False, True], ids=["plain", "sticky"])
+    @pytest.mark.parametrize("batch", [1, 4, None], ids=["b1", "b4", "auto"])
+    def test_pool_stream_matches_serial(
+        self, hg, inline_keys, batch, sticky, shared
+    ):
+        heuristics, instances, trials = _mixed_workload(hg)
+        out = execute_trials(
+            trials,
+            heuristics,
+            instances,
+            policy=ExecutionPolicy(
+                workers=2,
+                batch_size=batch,
+                sticky_cache=sticky,
+                sticky_pool_size=2,
+                use_shared_memory=shared,
+            ),
+        )
+        assert outcome_key(out) == inline_keys[sticky]
+
+    @needs_shm
+    def test_zero_copy_views_match_serial(self, hg, inline_keys):
+        heuristics, instances, trials = _mixed_workload(hg)
+        out = execute_trials(
+            trials,
+            heuristics,
+            instances,
+            policy=ExecutionPolicy(workers=2, zero_copy=True),
+        )
+        assert outcome_key(out) == inline_keys[False]
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(batch_size=0)
+        with pytest.raises(ValueError):
+            ExecutionPolicy(sticky_pool_size=0)
+
+
+class TestPerfTotals:
+    """Kernel counters aggregate across the pool without loss."""
+
+    def test_pool_totals_equal_serial(self, hg):
+        heuristics, instances, trials = _mixed_workload(hg)
+        serial: dict = {}
+        execute_trials(
+            trials, heuristics, instances,
+            policy=ExecutionPolicy(), perf_totals=serial,
+        )
+        pooled: dict = {}
+        execute_trials(
+            trials, heuristics, instances,
+            policy=ExecutionPolicy(workers=2, batch_size=2),
+            perf_totals=pooled,
+        )
+        assert set(serial) == set(pooled) == {"fm", "ml"}
+        for name in serial:
+            for field in PerfCounters.COUNT_FIELDS:
+                assert getattr(pooled[name], field) == getattr(
+                    serial[name], field
+                ), (name, field)
+
+    def test_sticky_refinement_counters_equal_serial(self, hg):
+        """Sticky caches rebuild hierarchies per worker, so the
+        coarsening counters legitimately differ between serial and pool
+        — but the refinement stream (what the trials actually compute)
+        must not."""
+        heuristics, instances, trials = _mixed_workload(hg)
+        refinement = (
+            "passes", "vertices_seeded", "selects", "moves_applied",
+            "moves_kept", "moves_rolled_back", "gain_updates",
+        )
+        totals = {}
+        for workers in (1, 2):
+            t: dict = {}
+            execute_trials(
+                trials, heuristics, instances,
+                policy=ExecutionPolicy(
+                    workers=workers, sticky_cache=True, sticky_pool_size=2
+                ),
+                perf_totals=t,
+            )
+            totals[workers] = t
+        for name in ("fm", "ml"):
+            for field in refinement:
+                assert getattr(totals[2][name], field) == getattr(
+                    totals[1][name], field
+                ), (name, field)
+
+    def test_campaign_persists_perf_json(self, tmp_path, spec):
+        orchestrate_campaign(spec, store_dir=tmp_path, workers=2)
+        store = RunStore(tmp_path / "orch")
+        assert store.perf_path.exists()
+        totals = store.load_perf()
+        assert set(totals) == {"fm10", "fm05"}
+        assert all(t.passes > 0 for t in totals.values())
+
+    def test_resume_accumulates_perf_json(self, tmp_path, spec):
+        orchestrate_campaign(spec, store_dir=tmp_path, workers=1)
+        store = RunStore(tmp_path / "orch")
+        full = {n: t.passes for n, t in store.load_perf().items()}
+        lines = store.journal_path.read_text().splitlines(True)
+        store.journal_path.write_text("".join(lines[:4]))  # "crash"
+        orchestrate_campaign(spec, store_dir=tmp_path, resume=True)
+        resumed = {n: t.passes for n, t in store.load_perf().items()}
+        # Campaign-cumulative: the resume re-ran 2 of 6 trials, so the
+        # merged totals exceed a single clean run's.
+        assert sum(resumed.values()) > sum(full.values())
+
+
+@needs_shm
+class TestShmHygiene:
+    """The shm acceptance matrix: no leaked segments after a normal
+    exit, after worker-timeout replacement, and after kill/resume."""
+
+    def _spy_segments(self, monkeypatch):
+        created = []
+
+        class Spy(shm.SharedInstanceSet):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.extend(self.segment_names())
+
+        monkeypatch.setattr(executor_mod, "SharedInstanceSet", Spy)
+        return created
+
+    def test_normal_exit_unlinks_everything(self, hg, monkeypatch):
+        created = self._spy_segments(monkeypatch)
+        heuristics, instances, trials = _mixed_workload(hg)
+        execute_trials(
+            trials, heuristics, instances,
+            policy=ExecutionPolicy(workers=2),
+        )
+        assert created, "pool run should have shared the instance plane"
+        assert all(not _segment_exists(n) for n in created)
+        assert all(n not in shm._MAPPINGS for n in created)
+
+    def test_worker_timeout_replacement_does_not_leak(
+        self, hg, tmp_path, monkeypatch
+    ):
+        created = self._spy_segments(monkeypatch)
+        spec = CampaignSpec(
+            name="hyg",
+            heuristics=[
+                FMPartitioner(tolerance=0.1, name="fast"),
+                SleepyPartitioner(),
+            ],
+            instances={"c100": hg},
+            num_starts=1,
+        )
+        orchestrate_campaign(
+            spec, store_dir=tmp_path, workers=2, timeout_seconds=0.75
+        )
+        assert created
+        assert all(not _segment_exists(n) for n in created)
+
+    def test_kill_resume_does_not_leak(self, tmp_path, spec, monkeypatch):
+        created = self._spy_segments(monkeypatch)
+        orchestrate_campaign(spec, store_dir=tmp_path, workers=2)
+        store = RunStore(tmp_path / "orch")
+        lines = store.journal_path.read_text().splitlines(True)
+        store.journal_path.write_text("".join(lines[:3]))  # "crash"
+        orchestrate_campaign(
+            spec, store_dir=tmp_path, workers=2, resume=True
+        )
+        assert store.status().done == 6
+        assert len(created) >= 2  # both invocations shared the plane
+        assert all(not _segment_exists(n) for n in created)
+
+    def test_sigkilled_process_segments_are_reclaimed(self, hg):
+        """SIGKILL the owning process: the mp resource tracker must
+        reclaim the registered segments (crash-cleanliness of the
+        plane itself; in-process kill/resume is covered above)."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        child_src = (
+            "import json, sys, time\n"
+            "from repro.hypergraph import shm\n"
+            "from repro.instances import generate_circuit\n"
+            "inst = shm.SharedInstanceSet("
+            "{'x': generate_circuit(120, seed=3)})\n"
+            "print(json.dumps(inst.segment_names()), flush=True)\n"
+            "time.sleep(60)\n"
+        )
+        env = dict(os.environ)
+        src_dir = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", child_src],
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            names = json.loads(proc.stdout.readline())
+            assert names and all(_segment_exists(n) for n in names)
+        finally:
+            proc.kill()
+        proc.wait(timeout=10)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if all(not _segment_exists(n) for n in names):
+                break
+            time.sleep(0.2)
+        assert all(not _segment_exists(n) for n in names)

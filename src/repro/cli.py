@@ -527,6 +527,166 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# ----------------------------------------------------------------------
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent campaign service until interrupted."""
+    import time
+
+    from repro.service import CampaignService, ServiceHTTP
+
+    service = CampaignService(
+        args.dir,
+        workers=args.workers,
+        cache_capacity=args.cache_capacity,
+        use_shared_memory=not args.no_shared_memory,
+    )
+    recovered = service.recover()
+    for job_id in recovered:
+        print(f"recovered {job_id}", file=sys.stderr)
+    http = ServiceHTTP(service, host=args.host, port=args.port)
+    http.start()
+    print(f"serving on {http.url} (jobs under {args.dir}/jobs)",
+          file=sys.stderr)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        http.stop()
+        service.close()
+    return 0
+
+
+def _job_spec_from_args(args: argparse.Namespace):
+    """A JobSpec from ``repro job submit`` flags: either ``--spec FILE``
+    (the JSON wire form) or the inline single-instance shorthand."""
+    import json as _json
+
+    from repro.service import InstanceSource, JobSpec
+
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as f:
+            return JobSpec.from_json(_json.load(f))
+    if args.input:
+        label = args.label or args.input.rsplit("/", 1)[-1].split(".")[0]
+        source = InstanceSource(
+            kind="file", label=label, path=args.input, are=args.are
+        )
+    elif args.suite:
+        source = InstanceSource(
+            kind="suite", label=args.label or args.suite,
+            suite=args.suite, scale=args.scale,
+        )
+    elif args.cells:
+        source = InstanceSource(
+            kind="generate", label=args.label or f"gen{args.cells}",
+            cells=args.cells, seed=args.gen_seed,
+        )
+    else:
+        raise ValueError(
+            "job submit needs --spec, --input, --suite or --cells"
+        )
+    return JobSpec(
+        name=args.name,
+        instances=[source],
+        engines=args.engines.split(","),
+        num_starts=args.starts,
+        base_seed=args.seed,
+        tolerance=args.tolerance,
+        num_shuffles=args.num_shuffles,
+        priority=args.priority,
+        timeout_seconds=args.timeout,
+        max_retries=args.retries,
+    )
+
+
+def _print_job_status(status: dict) -> None:
+    line = (
+        f"{status['job_id']}: {status['status']} "
+        f"{status['done']}/{status['total']} trials "
+        f"({status['ok']} ok, {status['errors']} errors, "
+        f"priority {status['priority']})"
+    )
+    best = status.get("best") or {}
+    if best:
+        cuts = ", ".join(f"{k}={best[k]:g}" for k in sorted(best))
+        line += f" best[{cuts}]"
+    print(line)
+
+
+def _watch_job(client, job_id: str, kind: str) -> None:
+    for event in client.watch(job_id, kind=kind):
+        name = event.get("event")
+        if name == "status":
+            print(
+                f"[live] {job_id}: {event['done']}/{event['total']} "
+                f"trials ({event['ok']} ok, {event['errors']} errors)"
+            )
+        elif name == "bsf":
+            print(
+                f"[bsf] {job_id}: trial {event['trial']} "
+                f"{event['heuristic']} on {event['instance']} "
+                f"cut {event['cut']:g}"
+            )
+        elif name == "report":
+            print(event["report"])
+        elif name == "end":
+            print(f"[live] {job_id}: finished "
+                  f"({event['done']}/{event['total']} trials journaled)")
+            return
+
+
+def cmd_job(args: argparse.Namespace) -> int:
+    """Dispatch ``repro job <action>`` against a running service."""
+    from repro.service import ServiceClient
+    from repro.service.client import ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_command == "submit":
+            spec = _job_spec_from_args(args)
+            job_id = client.submit(spec)
+            print(job_id)
+            if args.wait:
+                _watch_job(client, job_id, "status")
+                status = client.status(job_id)
+                _print_job_status(status)
+                if status.get("report_path"):
+                    print(f"report: {status['report_path']}")
+                return 0 if status["status"] == "done" else 1
+        elif args.job_command == "status":
+            _print_job_status(client.status(args.job_id))
+        elif args.job_command == "list":
+            jobs = client.list()
+            if not jobs:
+                print("no jobs")
+            for status in jobs:
+                _print_job_status(status)
+        elif args.job_command == "cancel":
+            client.cancel(args.job_id)
+            print(f"cancelled {args.job_id}")
+        elif args.job_command == "pause":
+            client.pause(args.job_id)
+            print(f"paused {args.job_id}")
+        elif args.job_command == "resume":
+            client.resume(args.job_id)
+            print(f"resumed {args.job_id}")
+        elif args.job_command == "watch":
+            _watch_job(client, args.job_id, args.kind)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ConnectionRefusedError:
+        print(
+            f"error: no campaign service at {args.url} "
+            "(start one with `repro serve`)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -786,6 +946,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     c.add_argument("-o", "--output")
     c.set_defaults(func=cmd_campaign_report)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent campaign service (HTTP job API)",
+    )
+    p.add_argument("--dir", default="service",
+                   help="service state directory (default ./service)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8337)
+    p.add_argument("--workers", type=int, default=2,
+                   help="shared fleet size (default 2)")
+    p.add_argument("--cache-capacity", type=int, default=8,
+                   help="instances kept hot in the cross-campaign cache")
+    p.add_argument("--no-shared-memory", action="store_true",
+                   help="ship instances to workers by pickling instead "
+                   "of the shared-memory plane")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "job", help="submit to / inspect a running campaign service"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8337",
+                   help="service endpoint (default http://127.0.0.1:8337)")
+    jsub = p.add_subparsers(dest="job_command", required=True)
+
+    j = jsub.add_parser("submit", help="submit a campaign job")
+    j.add_argument("--spec", help="JobSpec JSON file (overrides all "
+                   "inline instance/engine flags)")
+    j.add_argument("--name", default="job")
+    j.add_argument("--input", help="netlist file (.hgr / .netD)")
+    j.add_argument("--are", help=".are area file for .netD inputs")
+    j.add_argument("--suite", help="synthetic suite instance name")
+    j.add_argument("--scale", type=int, default=16,
+                   help="suite instance scale (default 16)")
+    j.add_argument("--cells", type=int, default=0,
+                   help="generate a synthetic netlist with this many cells")
+    j.add_argument("--gen-seed", type=int, default=0,
+                   help="generator seed for --cells")
+    j.add_argument("--label", help="instance label in the campaign")
+    j.add_argument("--engines", default="flat-lifo,ml-clip",
+                   help="comma-separated engine ladder subset")
+    j.add_argument("--starts", type=int, default=10)
+    j.add_argument("--seed", type=int, default=0)
+    j.add_argument("--tolerance", type=float, default=0.02)
+    j.add_argument("--num-shuffles", type=int, default=100)
+    j.add_argument("--priority", type=int, default=1,
+                   help="fair-share weight relative to other jobs")
+    j.add_argument("--timeout", type=float, default=None,
+                   help="per-trial wall-clock timeout in seconds")
+    j.add_argument("--retries", type=int, default=0)
+    j.add_argument("--wait", action="store_true",
+                   help="follow the job and exit when it finishes")
+
+    jsub.add_parser("list", help="list all jobs")
+    for action in ("status", "cancel", "pause", "resume"):
+        a = jsub.add_parser(action, help=f"{action} one job")
+        a.add_argument("job_id")
+    w = jsub.add_parser("watch", help="follow a job's live event stream")
+    w.add_argument("job_id")
+    w.add_argument("--kind", choices=("status", "bsf", "report"),
+                   default="status")
+    p.set_defaults(func=cmd_job)
 
     return parser
 

@@ -64,10 +64,19 @@ class JournalTail:
     def poll(self) -> int:
         """Absorb newly appended complete lines; return how many parsed
         outcomes were absorbed (including replacements of duplicate
-        trial indices — last occurrence wins, as in the batch reader)."""
+        trial indices — last occurrence wins, as in the batch reader).
+
+        If the journal *shrank* below the stored offset (truncation or
+        rotation — e.g. an operator rotating a long-running service's
+        journal, or a test rewriting it), the tail restarts from byte 0
+        and re-deduplicates the whole file instead of silently reading
+        nothing forever from a stale offset."""
         path = self.store.journal_path
         if not path.exists():
             return 0
+        if path.stat().st_size < self._offset:
+            self._offset = 0
+            self._by_trial.clear()
         with open(path, "rb") as f:
             f.seek(self._offset)
             chunk = f.read()

@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -132,6 +133,14 @@ class _Mapping:
 #: name -> mapping for every segment this process currently has open.
 _MAPPINGS: Dict[str, _Mapping] = {}
 
+#: Serializes every registry mutation (attach/detach/unlink/share).
+#: Multiple campaigns detaching the same cached segment concurrently —
+#: the service plane's steady state — must resolve to exactly one close
+#: and at most one unlink, never a double-free; the lock makes the
+#: refcount transitions atomic and keeps double-detach/double-unlink
+#: no-ops under any thread interleaving.
+_REGISTRY_LOCK = threading.RLock()
+
 #: Mappings whose close was blocked by live zero-copy views (numpy
 #: arrays exporting pointers into the mmap).  Held here so their
 #: deferred close is retried after the views die; drained at exit.
@@ -151,7 +160,8 @@ def _close_quietly(shm) -> bool:
         shm.close()
         return True
     except BufferError:
-        _ZOMBIES.append(shm)
+        with _REGISTRY_LOCK:
+            _ZOMBIES.append(shm)
         return False
 
 
@@ -161,12 +171,14 @@ def _drain_zombies() -> None:
     if not _ZOMBIES:
         return
     gc.collect()
-    for shm in list(_ZOMBIES):
-        try:
-            shm.close()
-            _ZOMBIES.remove(shm)
-        except BufferError:
-            pass
+    with _REGISTRY_LOCK:
+        pending = list(_ZOMBIES)
+        for shm in pending:
+            try:
+                shm.close()
+                _ZOMBIES.remove(shm)
+            except BufferError:
+                pass
 
 
 atexit.register(_drain_zombies)
@@ -240,7 +252,8 @@ def share_hypergraph(hg: Hypergraph) -> ShmHandle:
     a_vtx_nets[:] = vtx_nets
     a_vw[:] = hg.vertex_weights
     a_nw[:] = hg.net_weights
-    _MAPPINGS[shm.name] = _Mapping(shm)
+    with _REGISTRY_LOCK:
+        _MAPPINGS[shm.name] = _Mapping(shm)
     return handle
 
 
@@ -304,13 +317,16 @@ def detach_handle(handle: ShmHandle) -> None:
     """
     if not handle.is_shared:
         return
-    mapping = _MAPPINGS.get(handle.segment)
-    if mapping is None:
-        return
-    mapping.refs -= 1
-    if mapping.refs <= 0:
+    with _REGISTRY_LOCK:
+        mapping = _MAPPINGS.get(handle.segment)
+        if mapping is None:
+            return
+        mapping.refs -= 1
+        if mapping.refs > 0:
+            return
         del _MAPPINGS[handle.segment]
-        _close_quietly(mapping.shm)
+        shm = mapping.shm
+    _close_quietly(shm)
 
 
 def unlink_handle(handle: ShmHandle) -> None:
@@ -318,11 +334,14 @@ def unlink_handle(handle: ShmHandle) -> None:
 
     Releases this process's mapping if one is still open, then asks the
     kernel to remove the name.  Exactly one process — the creator —
-    should unlink; :class:`SharedInstanceSet` enforces that.
+    should unlink; :class:`SharedInstanceSet` enforces that.  Safe under
+    concurrent detach/unlink from multiple threads: the registry pop is
+    atomic, a lost race degrades to the ``FileNotFoundError`` no-op.
     """
     if not handle.is_shared or not HAVE_SHARED_MEMORY:
         return
-    mapping = _MAPPINGS.pop(handle.segment, None)
+    with _REGISTRY_LOCK:
+        mapping = _MAPPINGS.pop(handle.segment, None)
     try:
         if mapping is not None:
             shm = mapping.shm
@@ -335,14 +354,15 @@ def unlink_handle(handle: ShmHandle) -> None:
 
 
 def _attach_mapping(name: str) -> _Mapping:
-    mapping = _MAPPINGS.get(name)
-    if mapping is not None:
-        mapping.refs += 1
+    with _REGISTRY_LOCK:
+        mapping = _MAPPINGS.get(name)
+        if mapping is not None:
+            mapping.refs += 1
+            return mapping
+        shm = _shared_memory.SharedMemory(name=name)
+        mapping = _Mapping(shm)
+        _MAPPINGS[name] = mapping
         return mapping
-    shm = _shared_memory.SharedMemory(name=name)
-    mapping = _Mapping(shm)
-    _MAPPINGS[name] = mapping
-    return mapping
 
 
 def _fallback_handle(hg: Hypergraph) -> ShmHandle:

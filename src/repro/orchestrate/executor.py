@@ -271,6 +271,57 @@ class _TrialExecutor:
 
 
 # ----------------------------------------------------------------------
+def build_payload(
+    heuristics: Dict[str, Bipartitioner],
+    handles: Dict[str, ShmHandle],
+    fixed_parts: Optional[Dict[str, Sequence[Optional[int]]]] = None,
+    sticky_cache: bool = False,
+    sticky_pool_size: int = 2,
+    zero_copy: bool = False,
+    collect_perf: bool = False,
+) -> bytes:
+    """Serialize one execution context (heuristics, instance handles and
+    cache knobs) into the once-pickled spawn payload a worker consumes
+    via :func:`executor_from_payload`.  Shared by the campaign pool and
+    the multi-tenant service fleet, so both hand workers identical
+    contexts."""
+    return pickle.dumps(
+        (
+            heuristics,
+            handles,
+            fixed_parts,
+            sticky_cache,
+            sticky_pool_size,
+            zero_copy,
+            collect_perf,
+        ),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def executor_from_payload(payload_blob: bytes) -> "_TrialExecutor":
+    """Rebuild the worker-side :class:`_TrialExecutor` from a payload
+    produced by :func:`build_payload`."""
+    (
+        heuristics,
+        handles,
+        fixed_parts,
+        sticky_cache,
+        sticky_pool_size,
+        zero_copy,
+        collect_perf,
+    ) = pickle.loads(payload_blob)
+    return _TrialExecutor(
+        heuristics,
+        handles=handles,
+        fixed_parts=fixed_parts,
+        sticky_cache=sticky_cache,
+        sticky_pool_size=sticky_pool_size,
+        zero_copy=zero_copy,
+        collect_perf=collect_perf,
+    )
+
+
 def _worker_main(task_q, result_q, payload_blob: bytes):
     """Worker loop: pull trial batches, stream per-trial results, exit
     on the ``None`` sentinel.
@@ -282,24 +333,7 @@ def _worker_main(task_q, result_q, payload_blob: bytes):
     changes ``getppid``) instead of lingering as an orphan blocked on
     its queue forever.
     """
-    (
-        heuristics,
-        handles,
-        fixed_parts,
-        sticky_cache,
-        sticky_pool_size,
-        zero_copy,
-        collect_perf,
-    ) = pickle.loads(payload_blob)
-    executor = _TrialExecutor(
-        heuristics,
-        handles=handles,
-        fixed_parts=fixed_parts,
-        sticky_cache=sticky_cache,
-        sticky_pool_size=sticky_pool_size,
-        zero_copy=zero_copy,
-        collect_perf=collect_perf,
-    )
+    executor = executor_from_payload(payload_blob)
     parent = os.getppid()
     try:
         while True:
@@ -562,10 +596,14 @@ def _execute_inline(trials, heuristics, instances, fixed_parts, policy,
 
 
 class _BatchSizer:
-    """Adaptive batch sizing from an EWMA of observed trial runtimes."""
+    """Adaptive batch sizing from an EWMA of observed trial runtimes.
 
-    def __init__(self, policy: ExecutionPolicy):
-        self.fixed = policy.batch_size
+    ``fixed`` pins the size; ``None`` adapts toward
+    ``_TARGET_BATCH_SECONDS`` of work per batch.
+    """
+
+    def __init__(self, fixed: Optional[int] = None):
+        self.fixed = fixed
         self.ewma: Optional[float] = None
 
     def observe(self, runtime_seconds: float) -> None:
@@ -602,22 +640,19 @@ def _execute_pool(trials, heuristics, instances, fixed_parts, policy,
     # Satellite: the spawn payload is pickled exactly once per campaign;
     # timeout-replacement respawns reuse these bytes instead of
     # re-serializing the heuristic/instance dicts.
-    payload_blob = pickle.dumps(
-        (
-            heuristics,
-            share.handles,
-            fixed_parts,
-            policy.sticky_cache,
-            policy.sticky_pool_size,
-            policy.zero_copy,
-            perf_totals is not None,
-        ),
-        protocol=pickle.HIGHEST_PROTOCOL,
+    payload_blob = build_payload(
+        heuristics,
+        share.handles,
+        fixed_parts=fixed_parts,
+        sticky_cache=policy.sticky_cache,
+        sticky_pool_size=policy.sticky_pool_size,
+        zero_copy=policy.zero_copy,
+        collect_perf=perf_totals is not None,
     )
     spawn = lambda: _Worker(ctx, result_q, payload_blob)
 
     pending: Deque[_PendingTrial] = deque(_PendingTrial(p) for p in trials)
-    sizer = _BatchSizer(policy)
+    sizer = _BatchSizer(policy.batch_size)
     workers = [spawn() for _ in range(min(policy.workers, len(pending)))]
     inflight: Dict[int, _Worker] = {}
     outcomes: List[TrialOutcome] = []
@@ -737,3 +772,18 @@ def _execute_pool(trials, heuristics, instances, fixed_parts, policy,
             w.shutdown()
         share.close()
     return outcomes
+
+
+# ----------------------------------------------------------------------
+# Public handoff surface for other supervisors (the campaign service's
+# fair-share fleet drives the same executor/batching machinery, so one
+# trial run in either plane computes exactly the same thing).
+TrialExecutor = _TrialExecutor
+BatchSizer = _BatchSizer
+PendingTrial = _PendingTrial
+pool_context = _pool_context
+ok_outcome = _ok_outcome
+error_outcome = _error_outcome
+ORPHAN_POLL_SECONDS = _ORPHAN_POLL_SECONDS
+LIVENESS_SECONDS = _LIVENESS_SECONDS
+JOIN_SECONDS = _JOIN_SECONDS

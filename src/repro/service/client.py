@@ -1,0 +1,123 @@
+"""Same-process (and same-host) client for the campaign service.
+
+A thin, dependency-free wrapper over :mod:`http.client` speaking the
+:class:`~repro.service.server.ServiceHTTP` JSON protocol.  Control
+calls open one short-lived connection each; :meth:`watch` holds its own
+connection open and yields the NDJSON stream's events as dicts until
+the server sends the ``end`` sentinel.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Iterator, List, Optional, Union
+from urllib.parse import urlsplit
+
+from repro.service.spec import JobSpec
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"service returned {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Client for one campaign service endpoint (default local port)."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8337", timeout: float = 30.0):
+        split = urlsplit(url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 8337
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read().decode("utf-8")
+            if response.status >= 400:
+                try:
+                    message = json.loads(data).get("error", data)
+                except json.JSONDecodeError:
+                    message = data
+                raise ServiceError(response.status, message)
+            return json.loads(data) if data else {}
+        finally:
+            conn.close()
+
+    # -- control plane ---------------------------------------------------
+    def health(self) -> Dict:
+        return self._request("GET", "/health")
+
+    def submit(self, spec: Union[JobSpec, Dict]) -> str:
+        """Submit a job (a :class:`JobSpec` or its JSON form); returns
+        the assigned job id."""
+        payload = spec.to_json() if isinstance(spec, JobSpec) else spec
+        return str(self._request("POST", "/jobs", payload)["job_id"])
+
+    def status(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def list(self) -> List[Dict]:
+        return list(self._request("GET", "/jobs")["jobs"])
+
+    def cancel(self, job_id: str) -> None:
+        self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def pause(self, job_id: str) -> None:
+        self._request("POST", f"/jobs/{job_id}/pause")
+
+    def resume(self, job_id: str) -> None:
+        self._request("POST", f"/jobs/{job_id}/resume")
+
+    # -- streaming -------------------------------------------------------
+    def watch(
+        self, job_id: str, kind: str = "status", timeout: Optional[float] = None
+    ) -> Iterator[Dict]:
+        """Follow a job's live event stream (``status`` / ``bsf`` /
+        ``report``) until the terminal ``end`` event (inclusive)."""
+        conn = http.client.HTTPConnection(
+            self.host,
+            self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/stream?kind={kind}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = response.read().decode("utf-8")
+                try:
+                    message = json.loads(data).get("error", data)
+                except json.JSONDecodeError:
+                    message = data
+                raise ServiceError(response.status, message)
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str) -> Dict:
+        """Block until the job finishes; returns its final status."""
+        for event in self.watch(job_id, kind="status"):
+            if event.get("event") == "end":
+                break
+        return self.status(job_id)

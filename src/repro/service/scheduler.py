@@ -1,0 +1,594 @@
+"""Fair-share trial scheduler: many campaigns, one worker fleet.
+
+The campaign executor (:mod:`repro.orchestrate.executor`) supervises one
+campaign's trials on a dedicated pool.  The service needs the inverse
+shape: one long-lived fleet of multi-tenant workers, onto which trial
+*batches from many concurrent jobs* are interleaved.  This module keeps
+every contract the executor established and adds the multi-tenancy:
+
+* **Same trial semantics** — workers run each trial through the same
+  :class:`~repro.orchestrate.executor.TrialExecutor` (one per job per
+  worker, rebuilt from the job's once-pickled payload), so a trial
+  computes bit-for-bit what a standalone campaign run computes.  Sticky
+  hierarchy caches stay keyed on the trial's start index, never on
+  worker identity, so fair-share interleaving cannot perturb records.
+* **Deficit round-robin fair share** — each runnable job carries a
+  deficit replenished by its ``priority`` once all runnable deficits
+  are spent; dispatch walks the submission rotation and serves the
+  first job with deficit, clamping batch size to the remaining deficit.
+  Starvation bound: in every replenish cycle each runnable job is
+  dispatched at least ``priority`` trials before any other job is
+  replenished again — a priority-1 job always progresses.
+* **Per-job robustness** — per-trial hard timeouts, bounded retries and
+  the forfeit rule (a killed worker charges only its in-flight batch
+  head; the rest requeue unpenalized) are enforced per job, with each
+  job's own policy.
+* **Crash-safe journaling** — every outcome is appended + fsynced to
+  the job's own :class:`~repro.orchestrate.store.RunStore` the moment
+  it resolves, so a service kill loses at most the in-flight trials —
+  which were never journaled and simply rerun after restart.
+
+Threading model: all scheduler state is owned by one supervisor thread;
+other threads communicate through a command queue (submit / pause /
+resume / cancel / stop).  Job counter fields are plain ints updated only
+by the supervisor, safe to *read* from other threads for status.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.orchestrate import executor as _exec
+from repro.orchestrate.executor import (
+    BatchSizer,
+    PendingTrial,
+    error_outcome,
+    executor_from_payload,
+    ok_outcome,
+    pool_context,
+)
+from repro.orchestrate.plan import TrialPlan
+from repro.orchestrate.store import RunStore, TrialOutcome
+
+JOB_ACTIVE = "active"
+JOB_PAUSED = "paused"
+JOB_DONE = "done"
+JOB_CANCELLED = "cancelled"
+
+#: Supervisor wait bound while any worker is busy (mirrors the campaign
+#: executor's liveness bound) and idle tick while the fleet is drained.
+_BUSY_WAIT_SECONDS = _exec.LIVENESS_SECONDS
+_IDLE_WAIT_SECONDS = 0.2
+
+
+# ----------------------------------------------------------------------
+def _fleet_worker_main(task_q, result_q):
+    """Multi-tenant worker loop.
+
+    Message protocol (all tuples, first element is the kind):
+
+    * ``("job", job_id, payload_blob)`` — (re)register a job context; the
+      worker builds that job's :class:`TrialExecutor` lazily on first
+      batch so registration is cheap.
+    * ``("batch", job_id, [(index, heuristic, instance, seed, start)])``
+      — run the trials in order, streaming one result per trial as
+      ``(job_id, index, "ok"|"error", payload, perf)``.
+    * ``("drop", job_id)`` — close and forget the job's executor (its
+      sticky caches and attached instances).
+    * ``None`` — exit.
+
+    Job contexts are isolated: each job gets its own executor, so two
+    jobs labeling different netlists with the same instance name can
+    never cross wires, and sticky hierarchy pools never leak between
+    tenants.
+    """
+    import os
+
+    blobs: Dict[str, bytes] = {}
+    executors: Dict[str, object] = {}
+    parent = os.getppid()
+    try:
+        while True:
+            try:
+                msg = task_q.get(timeout=_exec.ORPHAN_POLL_SECONDS)
+            except queue.Empty:
+                if os.getppid() != parent:
+                    return  # supervisor is gone; don't orphan
+                continue
+            if msg is None:
+                return
+            kind = msg[0]
+            if kind == "job":
+                blobs[msg[1]] = msg[2]
+            elif kind == "drop":
+                blobs.pop(msg[1], None)
+                executor = executors.pop(msg[1], None)
+                if executor is not None:
+                    executor.close()
+            elif kind == "batch":
+                _, job_id, batch = msg
+                executor = executors.get(job_id)
+                if executor is None:
+                    blob = blobs.get(job_id)
+                    if blob is None:  # defensive: batch before context
+                        for index, *_rest in batch:
+                            result_q.put(
+                                (job_id, index, "error",
+                                 "worker received batch before job context",
+                                 None)
+                            )
+                        continue
+                    executor = executor_from_payload(blob)
+                    executors[job_id] = executor
+                for index, heuristic, instance, seed, start in batch:
+                    plan = TrialPlan(
+                        index=index,
+                        heuristic=heuristic,
+                        instance=instance,
+                        seed=seed,
+                        start=start,
+                    )
+                    try:
+                        payload, perf = executor.run(plan)
+                        result_q.put((job_id, index, "ok", payload, perf))
+                    except Exception:
+                        result_q.put(
+                            (job_id, index, "error",
+                             traceback.format_exc(limit=8), None)
+                        )
+    finally:
+        for executor in executors.values():
+            executor.close()
+
+
+class _FleetWorker:
+    """One fleet worker plus the supervisor's view of its state: which
+    job contexts it has been sent, and the in-flight batch (all from a
+    single job — batches are never mixed across tenants)."""
+
+    def __init__(self, ctx, result_q):
+        self.task_q = ctx.Queue()
+        self.process = ctx.Process(
+            target=_fleet_worker_main,
+            args=(self.task_q, result_q),
+            daemon=True,
+        )
+        self.process.start()
+        self.loaded: Set[str] = set()
+        self.batch: Deque[PendingTrial] = deque()
+        self.batch_job: Optional[str] = None
+        self.started_at = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.batch)
+
+    def load_job(self, job_id: str, payload_blob: bytes) -> None:
+        if job_id not in self.loaded:
+            self.task_q.put(("job", job_id, payload_blob))
+            self.loaded.add(job_id)
+
+    def drop_job(self, job_id: str) -> None:
+        if job_id in self.loaded:
+            try:
+                self.task_q.put(("drop", job_id))
+            except (ValueError, OSError):  # queue already closed
+                pass
+            self.loaded.discard(job_id)
+
+    def assign(self, job_id: str, items: List[PendingTrial]) -> None:
+        assert not self.batch
+        self.batch.extend(items)
+        self.batch_job = job_id
+        self.started_at = time.monotonic()
+        self.task_q.put(
+            (
+                "batch",
+                job_id,
+                [
+                    (p.plan.index, p.plan.heuristic, p.plan.instance,
+                     p.plan.seed, p.plan.start)
+                    for p in items
+                ],
+            )
+        )
+
+    def pop_result(self, index: int) -> Optional[PendingTrial]:
+        """Remove the batch entry whose result arrived (normally the
+        head) and re-arm the per-trial timeout clock."""
+        if not self.batch:
+            return None
+        if self.batch[0].plan.index == index:
+            item = self.batch.popleft()
+        else:  # defensive: out-of-order result from a replaced worker
+            item = None
+            for candidate in self.batch:
+                if candidate.plan.index == index:
+                    item = candidate
+                    break
+            if item is None:
+                return None
+            self.batch.remove(item)
+        self.started_at = time.monotonic()
+        if not self.batch:
+            self.batch_job = None
+        return item
+
+    def shutdown(self) -> None:
+        try:
+            self.task_q.put(None)
+        except (ValueError, OSError):
+            pass
+        self.process.join(timeout=_exec.JOIN_SECONDS)
+        if self.process.is_alive():
+            self.terminate()
+
+    def terminate(self) -> None:
+        self.process.terminate()
+        self.process.join(timeout=_exec.JOIN_SECONDS)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(timeout=_exec.JOIN_SECONDS)
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceJob:
+    """Scheduler-side state of one tenant campaign."""
+
+    job_id: str
+    store: RunStore
+    total: int
+    payload_blob: bytes
+    pending: Deque[PendingTrial]
+    priority: int = 1
+    timeout_seconds: Optional[float] = None
+    max_retries: int = 0
+    batch_size: Optional[int] = None
+    status: str = JOB_ACTIVE
+    done: int = 0
+    ok: int = 0
+    errors: int = 0
+    best: Dict[str, float] = field(default_factory=dict)
+    #: Called (supervisor thread) after each journaled outcome.
+    on_outcome: Optional[Callable[["ServiceJob", TrialOutcome], None]] = None
+    #: Called (supervisor thread) exactly once on done/cancelled.
+    on_finish: Optional[Callable[["ServiceJob"], None]] = None
+    deficit: float = 0.0
+    sizer: BatchSizer = field(init=False)
+    inflight: int = 0
+
+    def __post_init__(self) -> None:
+        self.sizer = BatchSizer(self.batch_size)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (JOB_DONE, JOB_CANCELLED)
+
+    def progress(self) -> Dict[str, object]:
+        """Thread-safe-enough snapshot for status endpoints."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "total": self.total,
+            "done": self.done,
+            "ok": self.ok,
+            "errors": self.errors,
+            "pending": len(self.pending),
+            "priority": self.priority,
+            "best": dict(self.best),
+        }
+
+
+class FairShareScheduler:
+    """Deficit-round-robin supervisor for one multi-tenant fleet."""
+
+    def __init__(self, workers: int = 2):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.num_workers = workers
+        self._cmd: "queue.Queue[Tuple]" = queue.Queue()
+        self._jobs: Dict[str, ServiceJob] = {}
+        self._order: List[str] = []  #: submission rotation for DRR
+        self._rr = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = False
+        self._stopped = threading.Event()
+
+    # -- control surface (any thread) -----------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("scheduler already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, job: ServiceJob) -> None:
+        self._cmd.put(("submit", job))
+
+    def pause(self, job_id: str) -> None:
+        self._cmd.put(("pause", job_id))
+
+    def resume(self, job_id: str) -> None:
+        self._cmd.put(("resume", job_id))
+
+    def cancel(self, job_id: str) -> None:
+        self._cmd.put(("cancel", job_id))
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the fleet *now* (kill semantics).  In-flight trials are
+        lost un-journaled — exactly the crash the journal is designed
+        for: a restart reruns only those."""
+        if self._thread is None:
+            return
+        self._cmd.put(("stop",))
+        self._stopped.wait(timeout)
+        self._thread.join(timeout)
+        self._thread = None
+
+    def job(self, job_id: str) -> Optional[ServiceJob]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[ServiceJob]:
+        return [self._jobs[j] for j in self._order]
+
+    # -- supervisor loop -------------------------------------------------
+    def _loop(self) -> None:
+        ctx = pool_context()
+        result_q = ctx.Queue()
+        fleet: List[_FleetWorker] = []
+        #: (job_id, trial index) -> worker currently holding it.
+        inflight: Dict[Tuple[str, int], _FleetWorker] = {}
+
+        def spawn() -> _FleetWorker:
+            w = _FleetWorker(ctx, result_q)
+            fleet.append(w)
+            return w
+
+        for _ in range(self.num_workers):
+            spawn()
+
+        # -- per-outcome bookkeeping ------------------------------------
+        def resolve(job: ServiceJob, outcome: TrialOutcome) -> None:
+            job.store.append(outcome)
+            job.done += 1
+            if outcome.ok:
+                job.ok += 1
+                inst = outcome.instance
+                if inst not in job.best or outcome.cut < job.best[inst]:
+                    job.best[inst] = outcome.cut
+            else:
+                job.errors += 1
+            if job.on_outcome is not None:
+                job.on_outcome(job, outcome)
+            if job.done >= job.total:
+                finish(job, JOB_DONE)
+
+        def fail(job: ServiceJob, item: PendingTrial, message: str) -> None:
+            item.attempts += 1
+            if item.attempts <= job.max_retries:
+                job.pending.append(item)
+            else:
+                resolve(job, error_outcome(item, message))
+
+        def finish(job: ServiceJob, status: str) -> None:
+            if job.finished:
+                return
+            job.status = status
+            job.pending.clear()
+            for w in fleet:
+                w.drop_job(job.job_id)
+            if job.on_finish is not None:
+                job.on_finish(job)
+
+        def forfeit(w: _FleetWorker, message: str) -> None:
+            """Kill ``w``; charge its batch head to its job, requeue the
+            rest at the front of that job's pending queue."""
+            job_id = w.batch_job
+            head = w.batch.popleft()
+            rest = list(w.batch)
+            w.batch.clear()
+            w.batch_job = None
+            inflight.pop((job_id, head.plan.index), None)
+            for item in rest:
+                inflight.pop((job_id, item.plan.index), None)
+            fleet.remove(w)
+            w.terminate()
+            job = self._jobs.get(job_id)
+            if job is not None and not job.finished:
+                job.inflight -= 1 + len(rest)
+                fail(job, head, message)
+                job.pending.extendleft(reversed(rest))
+            spawn()
+
+        # -- commands ----------------------------------------------------
+        def handle(cmd: Tuple) -> None:
+            kind = cmd[0]
+            if kind == "stop":
+                self._stopping = True
+            elif kind == "submit":
+                job: ServiceJob = cmd[1]
+                self._jobs[job.job_id] = job
+                self._order.append(job.job_id)
+                if not job.pending and job.done >= job.total:
+                    finish(job, JOB_DONE)
+            elif kind == "pause":
+                job = self._jobs.get(cmd[1])
+                if job is not None and job.status == JOB_ACTIVE:
+                    job.status = JOB_PAUSED
+            elif kind == "resume":
+                job = self._jobs.get(cmd[1])
+                if job is not None and job.status == JOB_PAUSED:
+                    job.status = JOB_ACTIVE
+            elif kind == "cancel":
+                job = self._jobs.get(cmd[1])
+                if job is None or job.finished:
+                    return
+                # Reclaim workers mid-batch on this job: cancellation
+                # must not wait for a long trial to finish.
+                for w in list(fleet):
+                    if w.batch_job == job.job_id:
+                        for item in w.batch:
+                            inflight.pop(
+                                (job.job_id, item.plan.index), None
+                            )
+                        w.batch.clear()
+                        w.batch_job = None
+                        fleet.remove(w)
+                        w.terminate()
+                        spawn()
+                job.inflight = 0
+                finish(job, JOB_CANCELLED)
+
+        # -- fair-share dispatch ----------------------------------------
+        def runnable() -> List[ServiceJob]:
+            return [
+                self._jobs[j]
+                for j in self._order
+                if self._jobs[j].status == JOB_ACTIVE
+                and self._jobs[j].pending
+            ]
+
+        def pick_job() -> Optional[ServiceJob]:
+            ready = runnable()
+            if not ready:
+                return None
+            if all(job.deficit < 1 for job in ready):
+                for job in ready:
+                    job.deficit += job.priority
+            n = len(self._order)
+            for k in range(n):
+                jid = self._order[(self._rr + k) % n]
+                job = self._jobs[jid]
+                if (
+                    job.status == JOB_ACTIVE
+                    and job.pending
+                    and job.deficit >= 1
+                ):
+                    self._rr = (self._rr + k + 1) % n
+                    return job
+            return None
+
+        def dispatch() -> None:
+            for w in fleet:
+                if w.busy or not w.process.is_alive():
+                    continue
+                job = pick_job()
+                if job is None:
+                    break
+                size = job.sizer.next_size(
+                    len(job.pending), len(fleet)
+                )
+                size = max(1, min(size, int(job.deficit), len(job.pending)))
+                items = [job.pending.popleft() for _ in range(size)]
+                job.deficit -= size
+                job.inflight += size
+                w.load_job(job.job_id, job.payload_blob)
+                w.assign(job.job_id, items)
+                for item in items:
+                    inflight[(job.job_id, item.plan.index)] = w
+
+        # -- waits -------------------------------------------------------
+        def drain_timeout(now: float) -> float:
+            wait = _BUSY_WAIT_SECONDS
+            for w in fleet:
+                if not w.busy:
+                    continue
+                job = self._jobs.get(w.batch_job)
+                if job is None or job.timeout_seconds is None:
+                    continue
+                remaining = w.started_at + job.timeout_seconds - now
+                if remaining < wait:
+                    wait = remaining
+            return max(wait, 0.0)
+
+        # -- main loop ---------------------------------------------------
+        try:
+            while True:
+                while True:  # absorb all queued commands
+                    try:
+                        handle(self._cmd.get_nowait())
+                    except queue.Empty:
+                        break
+                if self._stopping:
+                    break
+
+                dispatch()
+
+                any_busy = any(w.busy for w in fleet)
+                if any_busy:
+                    # Block on results, bounded by the nearest per-trial
+                    # deadline (and the liveness cap).
+                    messages = []
+                    wait = drain_timeout(time.monotonic())
+                    try:
+                        if wait > 0:
+                            messages.append(result_q.get(timeout=wait))
+                        else:
+                            messages.append(result_q.get_nowait())
+                        while True:
+                            messages.append(result_q.get_nowait())
+                    except queue.Empty:
+                        pass
+                    for job_id, index, status, payload, perf in messages:
+                        w = inflight.pop((job_id, index), None)
+                        if w is None:
+                            continue  # stale: terminated worker's result
+                        item = w.pop_result(index)
+                        if item is None:  # pragma: no cover - defensive
+                            continue
+                        job = self._jobs.get(job_id)
+                        if job is None or job.finished:
+                            continue
+                        job.inflight -= 1
+                        if status == "ok":
+                            job.sizer.observe(payload[1])
+                            resolve(job, ok_outcome(item, payload))
+                        else:
+                            fail(job, item, payload)
+                else:
+                    # Idle fleet: wait for the next command instead of
+                    # spinning on the result queue.
+                    try:
+                        handle(self._cmd.get(timeout=_IDLE_WAIT_SECONDS))
+                    except queue.Empty:
+                        pass
+                    if self._stopping:
+                        break
+
+                # Deadlines and dead workers.
+                now = time.monotonic()
+                for w in list(fleet):
+                    if not w.busy:
+                        if not w.process.is_alive():
+                            fleet.remove(w)
+                            spawn()
+                        continue
+                    job = self._jobs.get(w.batch_job)
+                    timeout = job.timeout_seconds if job else None
+                    if (
+                        timeout is not None
+                        and now - w.started_at > timeout
+                    ):
+                        forfeit(
+                            w,
+                            f"trial exceeded wall-clock timeout of "
+                            f"{timeout:g}s",
+                        )
+                    elif not w.process.is_alive():
+                        forfeit(
+                            w,
+                            f"worker process died "
+                            f"(exitcode {w.process.exitcode})",
+                        )
+        finally:
+            for w in fleet:
+                w.shutdown()
+            self._stopped.set()

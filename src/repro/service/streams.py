@@ -1,0 +1,181 @@
+"""Live job subscriptions: status, best-so-far, and streaming reports.
+
+A service client watching a job must see its progress *as it happens*
+without the server fanning out per-subscriber state: the crash-safe
+journal already is the event log.  Each subscriber therefore owns its
+own :class:`~repro.evaluation.streaming.JournalTail` (or full
+:class:`~repro.evaluation.streaming.ReportBuilder`) over the job's
+store and re-reads only the appended bytes — any number of subscribers
+per job, none of them coupled to the scheduler's hot path.
+
+The scheduler only has to *nudge*: :class:`SubscriptionHub` is a
+condition variable keyed by job, bumped once per journaled outcome
+(and once at job finish).  :func:`subscribe_job` turns that into a
+generator of JSON-ready event dicts:
+
+* ``kind="status"`` — one event per wakeup with done/ok/error counts
+  and per-instance best cuts;
+* ``kind="bsf"`` — one event per *improvement* of any instance's best
+  cut (the best-so-far trajectories of the paper's Section 3.2);
+* ``kind="report"`` — the full rendered report after each batch of new
+  outcomes; the final event's report is byte-identical to the post-hoc
+  ``repro campaign report`` of the same journal.
+
+Every stream ends with an ``{"event": "end", "status": ...}`` sentinel
+once the job finishes and its journal has been fully absorbed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, Optional
+
+from repro.evaluation.streaming import JournalTail, ReportBuilder
+from repro.orchestrate.store import RunStore
+
+
+class SubscriptionHub:
+    """Condition-variable fanout from the scheduler to subscribers.
+
+    ``notify(job_id)`` bumps the job's version; ``wait(job_id, seen)``
+    blocks until the version passes ``seen`` (or a timeout).  Versions
+    only grow, so a slow subscriber can never miss a wakeup — it just
+    coalesces several into one poll, and the journal tail it polls is
+    lossless anyway.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._versions: Dict[str, int] = {}
+        self._finished: Dict[str, bool] = {}
+
+    def notify(self, job_id: str) -> None:
+        with self._cond:
+            self._versions[job_id] = self._versions.get(job_id, 0) + 1
+            self._cond.notify_all()
+
+    def finish(self, job_id: str) -> None:
+        """Mark the job finished (done or cancelled) and wake everyone."""
+        with self._cond:
+            self._finished[job_id] = True
+            self._versions[job_id] = self._versions.get(job_id, 0) + 1
+            self._cond.notify_all()
+
+    def finished(self, job_id: str) -> bool:
+        with self._cond:
+            return self._finished.get(job_id, False)
+
+    def version(self, job_id: str) -> int:
+        with self._cond:
+            return self._versions.get(job_id, 0)
+
+    def wait(self, job_id: str, seen: int, timeout: float = 1.0) -> int:
+        """Block until the job's version exceeds ``seen`` (or timeout);
+        returns the current version either way."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self._versions.get(job_id, 0) > seen
+                or self._finished.get(job_id, False),
+                timeout=timeout,
+            )
+            return self._versions.get(job_id, 0)
+
+    def forget(self, job_id: str) -> None:
+        with self._cond:
+            self._versions.pop(job_id, None)
+            self._finished.pop(job_id, None)
+
+
+def _status_event(tail: JournalTail, total: int) -> Dict[str, object]:
+    outcomes = tail.outcomes()
+    ok = sum(1 for o in outcomes if o.ok)
+    best: Dict[str, float] = {}
+    for o in outcomes:
+        if o.ok and (o.instance not in best or o.cut < best[o.instance]):
+            best[o.instance] = o.cut
+    return {
+        "event": "status",
+        "done": len(outcomes),
+        "total": total,
+        "ok": ok,
+        "errors": len(outcomes) - ok,
+        "best": best,
+    }
+
+
+def subscribe_job(
+    store: RunStore,
+    hub: SubscriptionHub,
+    job_id: str,
+    kind: str = "status",
+    total: Optional[int] = None,
+    num_shuffles: int = 100,
+    poll_timeout: float = 1.0,
+    max_waits: Optional[int] = None,
+) -> Iterator[Dict[str, object]]:
+    """Yield live events for one job until it finishes.
+
+    Each subscriber tails the journal independently, so late joiners
+    first replay history (status catches up in one event; bsf replays
+    every improvement; report starts from the current partial render)
+    and then follow live.  ``max_waits`` bounds the number of hub waits
+    — for tests and for HTTP handlers that must not block forever on an
+    abandoned job.
+    """
+    if kind not in ("status", "bsf", "report"):
+        raise ValueError(f"unknown subscription kind {kind!r}")
+
+    builder: Optional[ReportBuilder] = None
+    if kind == "report":
+        builder = ReportBuilder(store, num_shuffles=num_shuffles)
+        tail = builder.tail
+        if total is None:
+            total = builder.total
+    else:
+        tail = JournalTail(store)
+        if total is None:
+            total = int(store.load_meta().get("total_trials", 0))
+
+    best: Dict[str, float] = {}
+    seen = -1  #: hub version already consumed (-1 forces first poll)
+    waits = 0
+    while True:
+        new = tail.poll()
+        if new:
+            if kind == "status":
+                yield _status_event(tail, total)
+            elif kind == "bsf":
+                for o in tail.outcomes():
+                    if not o.ok:
+                        continue
+                    if o.instance not in best or o.cut < best[o.instance]:
+                        best[o.instance] = o.cut
+                        yield {
+                            "event": "bsf",
+                            "trial": o.trial,
+                            "instance": o.instance,
+                            "heuristic": o.heuristic,
+                            "cut": o.cut,
+                        }
+            else:
+                yield {
+                    "event": "report",
+                    "done": len(tail.outcomes()),
+                    "total": total,
+                    "report": builder.render(),
+                }
+        done = len(tail.outcomes())
+        if hub.finished(job_id) and (done >= total or not new):
+            # Job is over and the journal is drained (a finished job
+            # writes nothing more; ``not new`` catches cancellations
+            # that stop short of ``total``).
+            yield {
+                "event": "end",
+                "done": done,
+                "total": total,
+            }
+            return
+        if max_waits is not None and waits >= max_waits:
+            return
+        waits += 1
+        seen = hub.wait(job_id, seen, timeout=poll_timeout)

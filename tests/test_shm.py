@@ -175,6 +175,113 @@ class TestLifecycle:
 
 # ----------------------------------------------------------------------
 @needs_shm
+class TestConcurrentLifecycle:
+    """Multi-campaign hygiene: the service detaches and unlinks one
+    segment from several threads at once; every interleaving must end
+    with the name gone, no exception, no leaked registry entry."""
+
+    def test_concurrent_detach_from_many_threads(self, hg):
+        import threading
+
+        handle = hg.to_shared()
+        n = 8
+        for _ in range(n):
+            Hypergraph.from_shared(handle, materialize=False)
+        assert shm._MAPPINGS[handle.segment].refs == n + 1
+
+        barrier = threading.Barrier(n)
+        errors = []
+
+        def detach():
+            try:
+                barrier.wait()
+                shm.detach_handle(handle)
+            except Exception as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=detach) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Exactly the creator reference must remain: no lost or double
+        # decrements under the race.
+        assert shm._MAPPINGS[handle.segment].refs == 1
+        shm.unlink_handle(handle)
+        assert not _segment_exists(handle.segment)
+
+    def test_concurrent_unlink_is_idempotent(self, hg):
+        import threading
+
+        handle = hg.to_shared()
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def unlink():
+            try:
+                barrier.wait()
+                shm.unlink_handle(handle)
+            except Exception as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=unlink) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert not _segment_exists(handle.segment)
+        assert handle.segment not in shm._MAPPINGS
+
+    def test_unlink_while_attach_detach_churn(self, hg):
+        """Unlink racing attach/detach churn from other campaigns: the
+        winner unlinks; attachers either succeed (and their views stay
+        readable) or observe the normal FileNotFoundError."""
+        import threading
+
+        handle = hg.to_shared()
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            while not stop.is_set():
+                try:
+                    views = Hypergraph.from_shared(
+                        handle, materialize=False
+                    )
+                    assert views.num_vertices == hg.num_vertices
+                    del views
+                    shm.detach_handle(handle)
+                except FileNotFoundError:
+                    return  # lost the race to the unlink: expected
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=churn) for _ in range(3)]
+        for t in threads:
+            t.start()
+        shm.unlink_handle(handle)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert not _segment_exists(handle.segment)
+        shm._drain_zombies()
+
+    def test_double_unlink_after_concurrent_detach(self, hg):
+        """The service shutdown path: cache close and a finishing job
+        may both try to unlink after workers detached."""
+        handle = hg.to_shared()
+        shm.detach_handle(handle)
+        shm.unlink_handle(handle)
+        shm.unlink_handle(handle)  # second campaign's release: no-op
+        assert not _segment_exists(handle.segment)
+
+
+# ----------------------------------------------------------------------
+@needs_shm
 class TestSharedInstanceSet:
     def test_context_manager_unlinks_everything(self, hg):
         with shm.SharedInstanceSet({"x": hg}) as inst:

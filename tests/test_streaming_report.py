@@ -109,6 +109,48 @@ class TestJournalTail:
         assert tail.poll() == 2  # corrupt line skipped, both real ones in
         assert tail.outcomes() == store.outcomes()
 
+    def test_truncated_journal_restarts_from_zero(self, tmp_path):
+        """Rotation/truncation shrinks the file below the tail's offset;
+        the tail must restart and re-deduplicate instead of reading
+        nothing forever from the stale offset."""
+        store = make_store(tmp_path)
+        tail = JournalTail(store)
+        for o in plan()[:4]:
+            store.append(o)
+        assert tail.poll() == 4
+        # An operator rotates the journal: keep only the last line.
+        lines = store.journal_path.read_text().splitlines(keepends=True)
+        store.journal_path.write_text(lines[-1])
+        assert tail.poll() == 1  # restarted from byte 0
+        assert [o.trial for o in tail.outcomes()] == [3]
+        assert tail.outcomes() == store.outcomes()
+
+    def test_truncation_to_empty_then_regrowth(self, tmp_path):
+        store = make_store(tmp_path)
+        tail = JournalTail(store)
+        for o in plan()[:3]:
+            store.append(o)
+        assert tail.poll() == 3
+        store.journal_path.write_text("")  # full rotation
+        assert tail.poll() == 0
+        assert tail.outcomes() == []  # stale dedup state dropped too
+        for o in plan()[4:6]:
+            store.append(o)
+        assert tail.poll() == 2  # follows the new journal normally
+        assert [o.trial for o in tail.outcomes()] == [4, 5]
+
+    def test_same_size_rewrite_still_consistent(self, tmp_path):
+        """A rewrite that does not shrink the file is indistinguishable
+        from an append at the byte level; the tail keeps following and
+        stays consistent with the batch reader for appended lines."""
+        store = make_store(tmp_path)
+        tail = JournalTail(store)
+        store.append(plan()[0])
+        assert tail.poll() == 1
+        store.append(plan()[1])
+        assert tail.poll() == 1
+        assert tail.outcomes() == store.outcomes()
+
 
 class TestReportBuilder:
     def test_mid_campaign_snapshot(self, tmp_path):

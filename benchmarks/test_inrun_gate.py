@@ -1,0 +1,89 @@
+"""Regression gate for the in-run parallelism plane.
+
+Runs the end-to-end ``repro bench inrun`` harness: a coarsening-
+dominated multistart executed once by the serial engine (hierarchy
+rebuilt in-process for every start) and once by the in-run fan-out
+(:func:`repro.multilevel.pool.run_multistart_pooled` with a persistent
+:class:`~repro.multilevel.parallel.InRunPool`, one shared sticky
+hierarchy block per worker).  The bench proves exact record-stream
+equivalence at **every** worker count in {1, 2, 4} before timing
+anything, so the gate asserts bit-identity *and* the issue's end-to-end
+speedup floor at 4 workers.
+
+Two tiers:
+
+* ``test_inrun_equivalence_fast`` (marker ``inrun``) — a small-instance
+  equivalence-only sweep, quick enough for any run of this directory;
+* ``test_bench_inrun_gate`` (markers ``inrun`` + ``slow``) — the full
+  timed scaling run at the acceptance scale, writing the committed
+  ``BENCH_inrun.json`` artifact.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from _common import RESULTS_DIR, bench_scale, emit
+
+#: Acceptance floor: the 4-worker in-run fan-out at least this much
+#: faster than the serial per-start engine, end to end.
+MIN_SPEEDUP = 2.0
+
+#: Below this instance size the coarsening work the fan-out eliminates
+#: shrinks while the fixed fan-out costs (payload pickling, queue
+#: round-trips) do not; clamp the divisor so the default
+#: REPRO_BENCH_SCALE=32 run still measures the acceptance-size
+#: instance (scale 16; smaller divisor = bigger instance).
+MAX_SCALE = 16
+
+
+@pytest.mark.inrun
+def test_inrun_equivalence_fast():
+    """Equivalence-only sweep on a deliberately small instance: the
+    record stream must be bit-identical at every worker count even when
+    chunks are tiny and workers outnumber useful work."""
+    from repro.bench import bench_inrun
+
+    result = bench_inrun(
+        scale=64, repeats=1, num_starts=6, workers=4, pool_size=2
+    )
+    assert result["equivalent"], (
+        f"in-run records diverged: {result['per_worker_equivalent']}"
+    )
+
+
+@pytest.mark.inrun
+@pytest.mark.slow
+def test_bench_inrun_gate():
+    """In-run scaling gate; writes ``BENCH_inrun.json``.
+
+    The machine-readable record (timings, speedup, per-worker
+    equivalence verdicts, per-start cuts, fan-out perf timings, shm
+    availability) lands both in the repository root — the regression
+    artifact named by the issue — and under ``benchmarks/results`` with
+    the other bench outputs.
+    """
+    from repro.bench import bench_inrun, render_inrun_bench, write_bench_json
+
+    result = bench_inrun(
+        scale=min(bench_scale(), MAX_SCALE),
+        repeats=3,
+        num_starts=24,
+        workers=4,
+        pool_size=1,
+    )
+    emit("BENCH_inrun", render_inrun_bench(result))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_json(result, str(RESULTS_DIR / "BENCH_inrun.json"))
+    write_bench_json(
+        result,
+        str(Path(__file__).resolve().parent.parent / "BENCH_inrun.json"),
+    )
+    assert result["equivalent"], (
+        "in-run record streams were not bit-identical to serial at "
+        f"every worker count: {result['per_worker_equivalent']}"
+    )
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"in-run speedup regressed: {result['speedup']:.2f}x "
+        f"< {MIN_SPEEDUP:g}x"
+    )

@@ -335,6 +335,62 @@ def cmd_bench_orchestrate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: One-line description per bench target, shown by bare ``repro bench``.
+BENCH_TARGETS = (
+    ("fm", "FM kernel vs the frozen seed engine (move-for-move gate)"),
+    ("ml", "multilevel coarsening + hierarchy pool vs the seed-oracle path"),
+    ("eval", "vectorized evaluation bootstrap vs the pure-Python oracle"),
+    ("orchestrate", "campaign orchestration plane vs the frozen worker pool"),
+    ("inrun", "in-run parallel coarsening/multistart vs the serial engine"),
+)
+
+
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    """Bare ``repro bench``: list the available targets and exit 0."""
+    print("available bench targets (repro bench <target> --help):")
+    for name, desc in BENCH_TARGETS:
+        print(f"  {name:12s} {desc}")
+    return 0
+
+
+def cmd_bench_inrun(args: argparse.Namespace) -> int:
+    """In-run parallelism bench vs the serial multistart engine.
+
+    Prints a summary, writes machine-readable JSON, and gates: exit
+    code 1 when the pooled fan-out is below ``--min-speedup`` or any
+    record stream diverges from the serial engine at any worker count.
+    """
+    from repro.bench import bench_inrun, render_inrun_bench, write_bench_json
+
+    result = bench_inrun(
+        instance=args.instance,
+        scale=args.scale,
+        repeats=args.repeats,
+        num_starts=args.num_starts,
+        workers=args.workers,
+        pool_size=args.pool_size,
+        seed=args.seed,
+        tolerance=args.tolerance,
+    )
+    print(render_inrun_bench(result))
+    write_bench_json(result, args.output)
+    print(f"\nwrote {args.output}")
+    if not result["equivalent"]:
+        print(
+            "error: in-run parallel records diverged from the serial engine",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_speedup and result["speedup"] < args.min_speedup:
+        print(
+            f"error: speedup {result['speedup']:.2f}x below required "
+            f"{args.min_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 def _print_perf_totals(store) -> None:
     """Per-heuristic kernel counters aggregated across all workers
@@ -369,6 +425,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         sticky_cache=args.sticky_cache,
         sticky_pool_size=args.sticky_pool_size,
         use_shared_memory=not args.no_shared_memory,
+        inrun_workers=args.inrun_workers,
         progress=ProgressPrinter() if args.progress else None,
         resume=args.resume,
         cli_meta=cli_meta,
@@ -417,6 +474,7 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
         sticky_cache=args.sticky_cache,
         sticky_pool_size=args.sticky_pool_size,
         use_shared_memory=not args.no_shared_memory,
+        inrun_workers=args.inrun_workers,
         progress=ProgressPrinter() if args.progress else None,
         resume=True,
     )
@@ -598,6 +656,7 @@ def _job_spec_from_args(args: argparse.Namespace):
         priority=args.priority,
         timeout_seconds=args.timeout,
         max_retries=args.retries,
+        inrun_workers=args.inrun_workers,
     )
 
 
@@ -747,7 +806,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="microbenchmarks with machine-readable regression output",
     )
-    bsub = p.add_subparsers(dest="bench_command", required=True)
+    p.set_defaults(func=cmd_bench_list)
+    bsub = p.add_subparsers(dest="bench_command")
 
     b = bsub.add_parser(
         "fm",
@@ -842,6 +902,31 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("-o", "--output", default="BENCH_orchestrate.json")
     b.set_defaults(func=cmd_bench_orchestrate)
 
+    b = bsub.add_parser(
+        "inrun",
+        help="in-run parallel coarsening + multistart fan-out vs the "
+        "serial engine (writes BENCH_inrun.json)",
+    )
+    b.add_argument("--instance", default="ibm01s",
+                   help="synthetic suite instance (default ibm01s)")
+    b.add_argument("--scale", type=int, default=16,
+                   help="suite scale divisor (default 16 = acceptance size)")
+    b.add_argument("--repeats", type=int, default=3,
+                   help="timed multistart runs per path (min is reported)")
+    b.add_argument("--num-starts", type=int, default=24,
+                   help="starts per multistart run (default 24)")
+    b.add_argument("--workers", type=int, default=4,
+                   help="in-run workers for the parallel path (default 4)")
+    b.add_argument("--pool-size", type=int, default=1,
+                   help="hierarchies in the shared pool (default 1)")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--tolerance", type=float, default=0.1)
+    b.add_argument("--min-speedup", type=float, default=2.0,
+                   help="fail (exit 1) below this end-to-end speedup "
+                   "(default 2.0; pass 0 to disable the gate)")
+    b.add_argument("-o", "--output", default="BENCH_inrun.json")
+    b.set_defaults(func=cmd_bench_inrun)
+
     p = sub.add_parser(
         "campaign",
         help="orchestrated campaigns: parallel, journaled, resumable",
@@ -869,6 +954,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-shared-memory", action="store_true",
             help="ship instances to workers by pickling instead of the "
             "shared-memory plane",
+        )
+        c.add_argument(
+            "--inrun-workers", type=int, default=1,
+            help="parallel-proposal workers inside each trial's "
+            "coarsening (fair-share clamped against --workers; "
+            "records are bit-identical at any value)",
         )
 
     c = csub.add_parser("run", help="run a campaign through the orchestrator")
@@ -996,6 +1087,9 @@ def build_parser() -> argparse.ArgumentParser:
     j.add_argument("--timeout", type=float, default=None,
                    help="per-trial wall-clock timeout in seconds")
     j.add_argument("--retries", type=int, default=0)
+    j.add_argument("--inrun-workers", type=int, default=1,
+                   help="in-run parallel workers per trial (clamped "
+                   "against the service fleet; records unchanged)")
     j.add_argument("--wait", action="store_true",
                    help="follow the job and exit when it finishes")
 

@@ -73,6 +73,15 @@ class PerfCounters:
     hierarchies_reused:
         Multistart/V-cycle starts served from an already-built pooled
         hierarchy instead of re-coarsening.
+    inrun_proposal_seconds:
+        Wall-clock seconds the in-run parallel engine spent waiting for
+        chunked matching-proposal computation (driver perspective).
+    inrun_merge_seconds:
+        Wall-clock seconds spent in the serial fixed-order proposal
+        merge that turns chunked proposals into the final cluster map.
+    inrun_fanout_seconds:
+        Wall-clock seconds spent dispatching multistart starts to the
+        in-run worker pool and collecting their results.
     """
 
     #: Deterministic event-count fields: pure functions of (instance,
@@ -99,8 +108,17 @@ class PerfCounters:
 
     #: Scalar wall-clock fields: machine- and load-dependent, never
     #: compared for equality (``pass_seconds`` is the per-pass list and
-    #: is excluded from wire formats).
-    TIMING_FIELDS = ("total_seconds", "coarsen_seconds")
+    #: is excluded from wire formats).  The ``inrun_*`` trio times the
+    #: in-run parallel engine's stages; they stay timing-only so the
+    #: deterministic count fields remain exactly equal between serial
+    #: and parallel runs.
+    TIMING_FIELDS = (
+        "total_seconds",
+        "coarsen_seconds",
+        "inrun_proposal_seconds",
+        "inrun_merge_seconds",
+        "inrun_fanout_seconds",
+    )
 
     passes: int = 0
     vertices_seeded: int = 0
@@ -121,6 +139,9 @@ class PerfCounters:
     coarsen_seconds: float = 0.0
     hierarchies_built: int = 0
     hierarchies_reused: int = 0
+    inrun_proposal_seconds: float = 0.0
+    inrun_merge_seconds: float = 0.0
+    inrun_fanout_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     def merge(self, other: "PerfCounters") -> None:
@@ -146,6 +167,9 @@ class PerfCounters:
         self.coarsen_seconds += other.coarsen_seconds
         self.hierarchies_built += other.hierarchies_built
         self.hierarchies_reused += other.hierarchies_reused
+        self.inrun_proposal_seconds += other.inrun_proposal_seconds
+        self.inrun_merge_seconds += other.inrun_merge_seconds
+        self.inrun_fanout_seconds += other.inrun_fanout_seconds
 
     @property
     def moves_per_second(self) -> float:
@@ -178,6 +202,9 @@ class PerfCounters:
             "coarsen_seconds": self.coarsen_seconds,
             "hierarchies_built": self.hierarchies_built,
             "hierarchies_reused": self.hierarchies_reused,
+            "inrun_proposal_seconds": self.inrun_proposal_seconds,
+            "inrun_merge_seconds": self.inrun_merge_seconds,
+            "inrun_fanout_seconds": self.inrun_fanout_seconds,
         }
 
     def summary(self) -> str:

@@ -160,12 +160,17 @@ class _TrialExecutor:
         sticky_pool_size: int = 2,
         zero_copy: bool = False,
         collect_perf: bool = False,
+        inrun_workers: int = 1,
     ) -> None:
         self.heuristics = heuristics
         self.fixed_parts = fixed_parts
         self.sticky_cache = sticky_cache
         self.sticky_pool_size = sticky_pool_size
         self.zero_copy = zero_copy
+        #: In-run parallel workers for sticky hierarchy builds.  Safe to
+        #: carry anywhere: HierarchyPool clamps to the serial path in
+        #: daemonic pool workers, and parallel builds are bit-identical.
+        self.inrun_workers = inrun_workers
         #: Perf counters ride the result queue per trial; collecting is
         #: opt-in (the caller passed ``perf_totals``) so campaigns that
         #: don't ask never pay the extra wire weight.
@@ -220,6 +225,7 @@ class _TrialExecutor:
                 base_seed=base_seed,
                 fixed_parts=fp,
                 oracle=getattr(partitioner, "oracle", False),
+                inrun_workers=self.inrun_workers,
             )
             self._pools[key] = pool
         if perf is not None:
@@ -229,12 +235,17 @@ class _TrialExecutor:
         return pool.get(plan.start)
 
     # -- one trial ------------------------------------------------------
-    def run(self, plan: TrialPlan) -> Tuple[tuple, Optional[Dict[str, float]]]:
+    def run(
+        self, plan: TrialPlan, with_assignment: bool = False
+    ) -> Tuple[tuple, Optional[Dict[str, float]]]:
         """Execute one trial.
 
         Returns ``((cut, runtime_seconds, legal), perf_wire)`` — the
         same result triple the journal stores, plus this trial's kernel
         perf counters in wire form (``None`` unless ``collect_perf``).
+        ``with_assignment`` appends the per-start assignment to the
+        payload (the in-run multistart fan-out needs it to reconstruct
+        ``best_assignment``); the journal triple stays untouched.
         """
         partitioner = self.heuristics[plan.heuristic]
         hg = self.instance(plan.instance)
@@ -267,6 +278,8 @@ class _TrialExecutor:
                 if counters is not None:
                     perf.merge(counters)
         payload = (result.cut, elapsed, bool(result.legal))
+        if with_assignment:
+            payload = payload + (list(result.assignment),)
         return payload, None if perf is None else _perf_to_wire(perf)
 
 
@@ -279,12 +292,13 @@ def build_payload(
     sticky_pool_size: int = 2,
     zero_copy: bool = False,
     collect_perf: bool = False,
+    inrun_workers: int = 1,
 ) -> bytes:
     """Serialize one execution context (heuristics, instance handles and
     cache knobs) into the once-pickled spawn payload a worker consumes
-    via :func:`executor_from_payload`.  Shared by the campaign pool and
-    the multi-tenant service fleet, so both hand workers identical
-    contexts."""
+    via :func:`executor_from_payload`.  Shared by the campaign pool, the
+    multi-tenant service fleet and the in-run fan-out pool, so all three
+    hand workers identical contexts."""
     return pickle.dumps(
         (
             heuristics,
@@ -294,6 +308,7 @@ def build_payload(
             sticky_pool_size,
             zero_copy,
             collect_perf,
+            inrun_workers,
         ),
         protocol=pickle.HIGHEST_PROTOCOL,
     )
@@ -310,6 +325,7 @@ def executor_from_payload(payload_blob: bytes) -> "_TrialExecutor":
         sticky_pool_size,
         zero_copy,
         collect_perf,
+        inrun_workers,
     ) = pickle.loads(payload_blob)
     return _TrialExecutor(
         heuristics,
@@ -319,6 +335,7 @@ def executor_from_payload(payload_blob: bytes) -> "_TrialExecutor":
         sticky_pool_size=sticky_pool_size,
         zero_copy=zero_copy,
         collect_perf=collect_perf,
+        inrun_workers=inrun_workers,
     )
 
 
@@ -481,10 +498,17 @@ class ExecutionPolicy:
     #: records; the pure-Python FM inner loops run ~1.5x slower on
     #: scalar numpy reads, so materializing is the speed default.
     zero_copy: bool = False
+    #: In-run parallel workers per trial (parallel-proposal coarsening
+    #: for sticky hierarchy builds).  Composes with ``workers`` via
+    #: fair-share clamping — ``workers x inrun_workers`` never exceeds
+    #: the fleet — and is bit-identical to serial at any value.
+    inrun_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.inrun_workers < 1:
+            raise ValueError("inrun_workers must be >= 1")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
@@ -499,6 +523,16 @@ class ExecutionPolicy:
         """Timeouts require process isolation, so a timeout forces the
         pool even with one worker."""
         return self.workers > 1 or self.timeout_seconds is not None
+
+    @property
+    def inrun_effective(self) -> int:
+        """``inrun_workers`` after fair-share clamping against the
+        trial-level worker count (and the daemon guard)."""
+        from repro.multilevel.parallel import clamp_inrun_workers
+
+        return clamp_inrun_workers(
+            self.inrun_workers, trial_workers=self.workers
+        )
 
 
 def execute_trials(
@@ -572,6 +606,7 @@ def _execute_inline(trials, heuristics, instances, fixed_parts, policy,
         sticky_cache=policy.sticky_cache,
         sticky_pool_size=policy.sticky_pool_size,
         collect_perf=perf_totals is not None,
+        inrun_workers=policy.inrun_effective,
     )
     outcomes: List[TrialOutcome] = []
     for plan in trials:
@@ -648,6 +683,7 @@ def _execute_pool(trials, heuristics, instances, fixed_parts, policy,
         sticky_pool_size=policy.sticky_pool_size,
         zero_copy=policy.zero_copy,
         collect_perf=perf_totals is not None,
+        inrun_workers=policy.inrun_effective,
     )
     spawn = lambda: _Worker(ctx, result_q, payload_blob)
 

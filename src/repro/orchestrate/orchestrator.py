@@ -210,6 +210,7 @@ def orchestrate_campaign(
     sticky_pool_size: int = 2,
     use_shared_memory: bool = True,
     zero_copy: bool = False,
+    inrun_workers: int = 1,
     fixed_parts: Optional[Dict[str, Sequence[Optional[int]]]] = None,
     progress: Optional[ProgressCallback] = None,
     resume: bool = False,
@@ -237,6 +238,7 @@ def orchestrate_campaign(
             sticky_pool_size=sticky_pool_size,
             use_shared_memory=use_shared_memory,
             zero_copy=zero_copy,
+            inrun_workers=inrun_workers,
         ),
         fixed_parts=fixed_parts,
         progress=progress,

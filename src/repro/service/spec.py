@@ -156,6 +156,12 @@ class JobSpec:
     max_retries: int = 0
     sticky_cache: bool = False
     sticky_pool_size: int = 2
+    #: In-run parallel workers per trial (parallel-proposal coarsening
+    #: for sticky hierarchy builds).  The server clamps it against the
+    #: fleet size at dispatch time so a job never oversubscribes; any
+    #: value is bit-identical to serial, so clamping never changes
+    #: records.
+    inrun_workers: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -184,6 +190,8 @@ class JobSpec:
             raise ValueError("timeout_seconds must be positive")
         if self.sticky_pool_size < 1:
             raise ValueError("sticky_pool_size must be >= 1")
+        if self.inrun_workers < 1:
+            raise ValueError("inrun_workers must be >= 1")
 
     # ------------------------------------------------------------------
     def build_heuristics(self) -> List[object]:
@@ -228,6 +236,7 @@ class JobSpec:
             "max_retries": self.max_retries,
             "sticky_cache": self.sticky_cache,
             "sticky_pool_size": self.sticky_pool_size,
+            "inrun_workers": self.inrun_workers,
         }
 
     @staticmethod
@@ -249,4 +258,5 @@ class JobSpec:
             max_retries=int(data.get("max_retries", 0)),
             sticky_cache=bool(data.get("sticky_cache", False)),
             sticky_pool_size=int(data.get("sticky_pool_size", 2)),
+            inrun_workers=int(data.get("inrun_workers", 1)),
         )

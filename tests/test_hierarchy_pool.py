@@ -157,6 +157,54 @@ class TestHierarchyPool:
         with pytest.raises(ValueError):
             HierarchyPool(hg, MLConfig(), 0)
 
+    def test_concurrent_get_builds_each_slot_once(self, hg, monkeypatch):
+        """Many threads requesting the same slot at once (the service
+        scheduler's shared-pool pattern) must trigger exactly one build:
+        losers of the build race block on the lock and then reuse."""
+        import threading
+        import time
+
+        import repro.multilevel.pool as pool_mod
+
+        real_build = pool_mod.build_hierarchy
+        build_calls = []
+
+        def slow_build(*args, **kwargs):
+            build_calls.append(threading.get_ident())
+            time.sleep(0.05)  # widen the race window
+            return real_build(*args, **kwargs)
+
+        monkeypatch.setattr(pool_mod, "build_hierarchy", slow_build)
+
+        perf = PerfCounters()
+        pool = HierarchyPool(hg, MLConfig(), 1, base_seed=3, perf=perf)
+        n = 8
+        barrier = threading.Barrier(n)
+        results = [None] * n
+        errors = []
+
+        def worker(k):
+            try:
+                barrier.wait()
+                results[k] = pool.get(0)
+            except Exception as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        assert len(build_calls) == 1  # exactly one build for the slot
+        assert pool.num_built == 1
+        assert all(r is results[0] for r in results)
+        assert perf.hierarchies_built == 1
+        assert perf.hierarchies_reused == n - 1
+
 
 class TestPartitionWithHierarchy:
     def test_wrong_hypergraph_rejected(self, hg):

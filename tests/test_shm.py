@@ -86,6 +86,33 @@ class TestRoundTrip:
             shm.detach_handle(handle)
             shm.unlink_handle(handle)
 
+    def test_every_zero_copy_array_rejects_writes(self, hg):
+        """The in-run proposal plane computes clustering proposals on
+        zero-copy views from several worker processes at once; its
+        safety argument is that every attached array is a read-only
+        numpy view, so an accidental in-place write raises instead of
+        corrupting the instance under every other worker."""
+        import numpy as np
+
+        handle = hg.to_shared()
+        try:
+            views = Hypergraph.from_shared(handle, materialize=False)
+            # The weight *properties* return copies; the arrays the
+            # kernels read are the adopted segment-backed ones.
+            arrays = list(views.raw_csr) + [
+                views._vertex_weights, views._net_weights
+            ]
+            assert len(arrays) == 6
+            for arr in arrays:
+                assert isinstance(arr, np.ndarray)
+                assert not arr.flags.writeable
+                with pytest.raises((ValueError, RuntimeError)):
+                    arr[0] = arr[0]
+            del views, arrays
+        finally:
+            shm.detach_handle(handle)
+            shm.unlink_handle(handle)
+
     def test_names_survive_the_round_trip(self):
         hg = Hypergraph(
             [[0, 1], [1, 2]],

@@ -929,6 +929,233 @@ def bench_inrun(
     }
 
 
+# ----------------------------------------------------------------------
+# K-way / scenario campaign plane (``repro bench kway``)
+# ----------------------------------------------------------------------
+def _scenario_outcome_key(outcomes) -> List[tuple]:
+    """Timing-free identity of an outcome stream *including* the k and
+    objective stamps the scenario layer threads through the executor."""
+    return [
+        (
+            o.trial,
+            o.status,
+            o.heuristic,
+            o.instance,
+            o.seed,
+            o.cut,
+            o.legal,
+            o.k,
+            o.objective,
+        )
+        for o in outcomes
+    ]
+
+
+def bench_kway(
+    instance: str = "ibm01s",
+    scale: int = 16,
+    repeats: int = 3,
+    num_starts: int = 4,
+    workers: int = 2,
+    seed: int = 0,
+    tolerance: float = 0.1,
+    ks: Sequence[int] = (2, 4, 8),
+) -> Dict[str, object]:
+    """Scenario-campaign bench: k-way + terminal-propagation workloads
+    through every execution plane, gated on record equivalence.
+
+    The workload is the PR's scenario layer end to end: recursive
+    bisection at each ``k`` under the connectivity ((lambda - 1))
+    objective plus one terminal-propagation placement scenario, each
+    run ``num_starts`` independent starts on one suite instance.
+
+    Unlike the other benches, the headline here is not a speedup (the
+    pool's scaling is ``bench orchestrate``'s story) but the
+    determinism contract for the new workloads, checked exactly:
+
+    * **plane equivalence** — serial inline, the worker pool, unit
+      batching, the sticky-cache policy and in-run parallel workers
+      must all produce bit-identical outcome streams, including the
+      per-trial ``k``/``objective`` stamps;
+    * **per-scenario balance gate** — for every ``k``, the part
+      weights of a fresh partition must satisfy the documented k-way
+      balance window ``total/k * (1 +- t*k/(2(k-1)))``, and every
+      journaled outcome must carry ``legal=True``.
+
+    The serial-vs-pool timing is reported for trend-watching; the gate
+    never keys on it.
+    """
+    from repro.evaluation.scenarios import (
+        Scenario,
+        ScenarioHeuristic,
+        balance_for,
+        kway_axes,
+    )
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if num_starts < 1:
+        raise ValueError("num_starts must be >= 1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    hg = suite_instance(instance, scale=scale)
+    instances = {instance: hg}
+    adapters = kway_axes(
+        ks=tuple(ks), objective="connectivity", tolerance=tolerance
+    ) + [
+        ScenarioHeuristic(
+            Scenario(kind="terminal-propagation", objective="hpwl",
+                     tolerance=tolerance)
+        )
+    ]
+    heuristics = {a.name: a for a in adapters}
+    trials = [
+        TrialPlan(
+            index=i,
+            heuristic=name,
+            instance=instance,
+            seed=seed + s,
+            start=s,
+        )
+        for i, (name, s) in enumerate(
+            (name, s) for name in heuristics for s in range(num_starts)
+        )
+    ]
+
+    serial_policy = ExecutionPolicy()
+    pool_policy = ExecutionPolicy(workers=workers)
+    batched_policy = ExecutionPolicy(workers=workers, batch_size=1)
+    sticky_policy = ExecutionPolicy(
+        workers=workers, sticky_cache=True, sticky_pool_size=2
+    )
+    inrun_policy = ExecutionPolicy(workers=workers, inrun_workers=2)
+
+    base_secs: List[float] = []
+    subj_secs: List[float] = []
+    serial_key: List[tuple] = []
+    pool_key: List[tuple] = []
+    equivalent = True
+    for rep in range(repeats):
+        t0 = time.perf_counter()
+        serial_out = execute_trials(
+            trials, heuristics, instances, policy=serial_policy
+        )
+        base_secs.append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        pool_out = execute_trials(
+            trials, heuristics, instances, policy=pool_policy
+        )
+        subj_secs.append(time.perf_counter() - t0)
+
+        kb, kp = (
+            _scenario_outcome_key(serial_out),
+            _scenario_outcome_key(pool_out),
+        )
+        if rep == 0:
+            serial_key, pool_key = kb, kp
+        equivalent = equivalent and kb == serial_key and kp == pool_key
+
+    plane_equivalent: Dict[str, bool] = {
+        "pool": pool_key == serial_key
+    }
+    for label, policy in (
+        ("batched", batched_policy),
+        ("sticky", sticky_policy),
+        ("inrun", inrun_policy),
+    ):
+        out = execute_trials(trials, heuristics, instances, policy=policy)
+        plane_equivalent[label] = (
+            _scenario_outcome_key(out) == serial_key
+        )
+    equivalent = equivalent and all(plane_equivalent.values())
+
+    all_ok = all(k[1] == "ok" for k in serial_key)
+    all_legal = all(k[6] for k in serial_key)
+
+    # Per-scenario balance gate: fresh partitions at every k must land
+    # inside the documented window (checked on actual part weights, not
+    # just the adapter's own legal flag).
+    balance_ok: Dict[str, bool] = {}
+    for adapter in adapters:
+        if adapter.scenario.kind != "kway":
+            continue
+        res = adapter.partition(hg, seed=seed)
+        balance = balance_for(hg, adapter.scenario)
+        part_weights = [0.0] * adapter.k
+        for v, p in enumerate(res.assignment):
+            part_weights[p] += hg.vertex_weight(v)
+        balance_ok[adapter.name] = balance.is_legal(part_weights)
+    legal = all_ok and all_legal and all(balance_ok.values())
+
+    best_base = min(base_secs)
+    best_subj = min(subj_secs)
+    speedup = best_base / best_subj if best_subj > 0 else float("inf")
+    best_by_heuristic = {
+        name: min(k[5] for k in serial_key if k[2] == name)
+        for name in heuristics
+    }
+    return {
+        "benchmark": "kway",
+        "instance": {
+            "name": instance,
+            "scale": scale,
+            "num_vertices": hg.num_vertices,
+            "num_nets": hg.num_nets,
+            "num_pins": hg.num_pins,
+        },
+        "repeats": repeats,
+        "num_starts": num_starts,
+        "workers": workers,
+        "seed": seed,
+        "tolerance": tolerance,
+        "ks": list(ks),
+        "scenarios": [a.name for a in adapters],
+        "shared_memory": shm_available(),
+        "baseline_seconds": base_secs,
+        "subject_seconds": subj_secs,
+        "best_baseline_seconds": best_base,
+        "best_subject_seconds": best_subj,
+        "speedup": speedup,
+        "equivalent": equivalent,
+        "plane_equivalent": plane_equivalent,
+        "legal": legal,
+        "balance_ok": balance_ok,
+        "best_by_scenario": best_by_heuristic,
+    }
+
+
+def render_kway_bench(result: Dict[str, object]) -> str:
+    """Human-readable summary for one :func:`bench_kway` result."""
+    inst = result["instance"]
+    planes = ", ".join(
+        f"{name}:{'ok' if ok else 'FAIL'}"
+        for name, ok in sorted(result["plane_equivalent"].items())
+    )
+    lines = [
+        f"K-way scenario bench — {inst['name']} (scale "
+        f"{inst['scale']}: {inst['num_vertices']} cells, "
+        f"{inst['num_nets']} nets, {inst['num_pins']} pins), "
+        f"k in {result['ks']}, {result['num_starts']} start(s)/scenario, "
+        f"{result['workers']} worker(s), {result['repeats']} repeat(s), "
+        f"shared memory "
+        f"{'on' if result['shared_memory'] else 'OFF (pickling fallback)'}",
+        "",
+        f"serial inline:     {result['best_baseline_seconds']:8.3f} s",
+        f"worker pool:       {result['best_subject_seconds']:8.3f} s "
+        f"({result['speedup']:.2f}x, informational)",
+        "",
+        f"records bit-identical across planes: "
+        f"{'yes' if result['equivalent'] else 'NO'} ({planes})",
+        f"balance windows honored at every k: "
+        f"{'yes' if result['legal'] else 'NO'}",
+    ]
+    for name, cut in sorted(result["best_by_scenario"].items()):
+        lines.append(f"  best {name:32s} {cut:g}")
+    return "\n".join(lines)
+
+
 def render_inrun_bench(result: Dict[str, object]) -> str:
     """Human-readable summary for one :func:`bench_inrun` result."""
     inst = result["instance"]

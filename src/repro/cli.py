@@ -342,6 +342,8 @@ BENCH_TARGETS = (
     ("eval", "vectorized evaluation bootstrap vs the pure-Python oracle"),
     ("orchestrate", "campaign orchestration plane vs the frozen worker pool"),
     ("inrun", "in-run parallel coarsening/multistart vs the serial engine"),
+    ("kway", "k-way + terminal-propagation scenarios across every "
+             "execution plane"),
 )
 
 
@@ -391,6 +393,47 @@ def cmd_bench_inrun(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_kway(args: argparse.Namespace) -> int:
+    """K-way / terminal-propagation scenario bench across every
+    execution plane.
+
+    Prints a summary, writes machine-readable JSON, and gates: exit
+    code 1 when any plane's record stream diverges from serial inline
+    or any k violates its documented balance window.  The serial-vs-
+    pool speedup is informational only.
+    """
+    from repro.bench import bench_kway, render_kway_bench, write_bench_json
+
+    ks = tuple(int(k.strip()) for k in args.ks.split(",") if k.strip())
+    result = bench_kway(
+        instance=args.instance,
+        scale=args.scale,
+        repeats=args.repeats,
+        num_starts=args.num_starts,
+        workers=args.workers,
+        seed=args.seed,
+        tolerance=args.tolerance,
+        ks=ks,
+    )
+    print(render_kway_bench(result))
+    write_bench_json(result, args.output)
+    print(f"\nwrote {args.output}")
+    if not result["equivalent"]:
+        print(
+            "error: scenario records diverged across execution planes",
+            file=sys.stderr,
+        )
+        return 1
+    if not result["legal"]:
+        print(
+            "error: a scenario produced an illegal partition "
+            "(balance window violated)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 def _print_perf_totals(store) -> None:
     """Per-heuristic kernel counters aggregated across all workers
@@ -403,18 +446,48 @@ def _print_perf_totals(store) -> None:
         print(f"  {name:28s} {perf.summary()}")
 
 
+def _spec_from_jobspec_file(path: str):
+    """Build the executable CampaignSpec from a declarative JobSpec JSON
+    file (the same wire format the service's job API accepts), loading
+    every declared instance source."""
+    import json
+    from pathlib import Path
+
+    from repro.service.spec import JobSpec
+
+    jobspec = JobSpec.from_json(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )
+    instances = {src.label: src.load() for src in jobspec.instances}
+    return jobspec, jobspec.campaign_spec(instances)
+
+
 def cmd_campaign_run(args: argparse.Namespace) -> int:
     """Orchestrated campaign: parallel workers + crash-safe journal."""
     from pathlib import Path
 
     from repro.orchestrate import ProgressPrinter, RunStore, orchestrate_campaign
 
-    spec = _campaign_spec(args)
-    cli_meta = {
-        "input": str(Path(args.input).resolve()),
-        "are": str(Path(args.are).resolve()) if args.are else None,
-        "tolerance": args.tolerance,
-    }
+    if args.spec and args.input:
+        print("error: give either an input netlist or --spec, not both",
+              file=sys.stderr)
+        return 2
+    if args.spec:
+        _, spec = _spec_from_jobspec_file(args.spec)
+        # The spec file is the single source of truth on resume — the
+        # ladder flags (--tolerance/--starts/--seed/--name) are unused.
+        cli_meta = {"spec_path": str(Path(args.spec).resolve())}
+    elif args.input:
+        spec = _campaign_spec(args)
+        cli_meta = {
+            "input": str(Path(args.input).resolve()),
+            "are": str(Path(args.are).resolve()) if args.are else None,
+            "tolerance": args.tolerance,
+        }
+    else:
+        print("error: need an input netlist or --spec FILE",
+              file=sys.stderr)
+        return 2
     result = orchestrate_campaign(
         spec,
         store_dir=args.store_dir,
@@ -455,15 +528,18 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
             "created by `repro campaign run` and cannot be resumed from "
             "the command line"
         )
-    ns = argparse.Namespace(
-        input=cli["input"],
-        are=cli.get("are"),
-        tolerance=cli.get("tolerance", 0.02),
-        name=meta["name"],
-        starts=meta["num_starts"],
-        seed=meta["base_seed"],
-    )
-    spec = _campaign_spec(ns)
+    if cli.get("spec_path"):
+        _, spec = _spec_from_jobspec_file(cli["spec_path"])
+    else:
+        ns = argparse.Namespace(
+            input=cli["input"],
+            are=cli.get("are"),
+            tolerance=cli.get("tolerance", 0.02),
+            name=meta["name"],
+            starts=meta["num_starts"],
+            seed=meta["base_seed"],
+        )
+        spec = _campaign_spec(ns)
     result = orchestrate_campaign(
         spec,
         store_dir=Path(args.campaign_dir).parent,
@@ -927,6 +1003,29 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("-o", "--output", default="BENCH_inrun.json")
     b.set_defaults(func=cmd_bench_inrun)
 
+    b = bsub.add_parser(
+        "kway",
+        help="k-way + terminal-propagation scenarios across every "
+        "execution plane (writes BENCH_kway.json)",
+    )
+    b.add_argument("--instance", default="ibm01s",
+                   help="suite or adversarial instance (default ibm01s)")
+    b.add_argument("--scale", type=int, default=16,
+                   help="instance scale divisor (default 16)")
+    b.add_argument("--repeats", type=int, default=3,
+                   help="timed campaign runs per plane (min is reported)")
+    b.add_argument("--num-starts", type=int, default=4,
+                   help="independent starts per scenario (default 4)")
+    b.add_argument("--workers", type=int, default=2,
+                   help="worker-pool size for the parallel planes "
+                   "(default 2)")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--tolerance", type=float, default=0.1)
+    b.add_argument("--ks", default="2,4,8",
+                   help="comma-separated k values (default 2,4,8)")
+    b.add_argument("-o", "--output", default="BENCH_kway.json")
+    b.set_defaults(func=cmd_bench_kway)
+
     p = sub.add_parser(
         "campaign",
         help="orchestrated campaigns: parallel, journaled, resumable",
@@ -963,7 +1062,15 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     c = csub.add_parser("run", help="run a campaign through the orchestrator")
-    c.add_argument("input")
+    c.add_argument("input", nargs="?",
+                   help="netlist file for an engine-ladder campaign "
+                   "(omit when using --spec)")
+    c.add_argument(
+        "--spec",
+        help="declarative JobSpec JSON (the service job wire format): "
+        "instance sources + engines and/or k-way / terminal-propagation "
+        "scenarios; supersedes the ladder flags",
+    )
     c.add_argument("--are", help=".are area file for .netD inputs")
     c.add_argument("--name", default="campaign")
     c.add_argument("--tolerance", type=float, default=0.02)

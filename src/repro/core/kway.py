@@ -5,23 +5,83 @@ of multi-way partitioning" as an open gap; the workhorse in practice
 (and inside every top-down placer) is recursive 2-way bisection, which
 this module provides on top of any configured bipartitioner.
 
-Balance semantics generalize the paper's convention: for ``k`` parts and
-tolerance ``t``, each part's weight must lie within
-``total * (1/k) * (1 ± t/2 * k/(k-1))`` — chosen so that for ``k = 2``
-it reduces exactly to the 2-way convention (tolerance 0.02 → 49%-51%).
-Recursive bisection enforces this by splitting the per-level tolerance
-budget across levels.
+Balance semantics generalize the paper's convention (see
+:class:`KWayBalance`): for ``k`` parts and tolerance ``t``, each part's
+weight must lie within ``total * (1/k) * (1 ± t/2 * k/(k-1))`` — chosen
+so that for ``k = 2`` it reduces exactly to the 2-way convention
+(tolerance 0.02 → 49%-51%).
+
+Recursive bisection enforces the convention with an *absolute-window*
+tolerance budget: the final per-part bounds ``[Lmin, Lmax]`` are carried
+through the recursion, and each split of a weight-``W`` vertex set into
+``k_left``/``k_right`` parts computes the admissible window for its left
+side directly —
+
+    ``low  = max(k_left * Lmin, W - k_right * Lmax)``
+    ``high = min(k_left * Lmax, W - k_right * Lmin)``
+
+— and hands the bipartitioner exactly the tolerance that keeps the split
+inside that window.  Unlike a naive per-level division of the relative
+tolerance (which over- or under-budgets whenever ``k`` is not a power of
+two, or when an upper split lands off-center), the window is computed
+from the *actual* weight that arrived at each node, so the bound holds
+for every ``k``.
 """
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.partitioner import FMPartitioner
 from repro.hypergraph.hypergraph import Hypergraph
+
+#: Floor on the per-split bipartitioner tolerance: when macro-heavy
+#: weights make the exact window infeasible, the engine still gets a
+#: sliver of slack and the result simply reports ``legal=False``.
+_MIN_SPLIT_TOL = 1e-4
+
+
+@dataclass(frozen=True)
+class KWayBalance:
+    """k-way balance window generalizing the paper's 2-way convention.
+
+    Each part weight must lie within ``ideal * (1 ± epsilon)`` where
+    ``ideal = total / k`` and ``epsilon = tolerance * k / (2 (k - 1))``
+    — chosen so ``k = 2`` reproduces ``0.5 ± tolerance/2`` exactly.
+    """
+
+    total_weight: float
+    k: int
+    tolerance: float
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ValueError("k must be >= 2")
+        if not 0.0 <= self.tolerance < 1.0:
+            raise ValueError("tolerance must lie in [0, 1)")
+
+    @property
+    def epsilon(self) -> float:
+        return self.tolerance * self.k / (2.0 * (self.k - 1))
+
+    @property
+    def lower_bound(self) -> float:
+        return (self.total_weight / self.k) * (1.0 - self.epsilon)
+
+    @property
+    def upper_bound(self) -> float:
+        return (self.total_weight / self.k) * (1.0 + self.epsilon)
+
+    def is_legal(self, part_weights: Sequence[float]) -> bool:
+        lo, hi = self.lower_bound, self.upper_bound
+        return all(lo <= w <= hi for w in part_weights)
+
+    def distance_from_bounds(self, part_weights: Sequence[float]) -> float:
+        """Smallest margin to the window edge (negative when illegal)."""
+        lo, hi = self.lower_bound, self.upper_bound
+        return min(min(w - lo, hi - w) for w in part_weights)
 
 
 @dataclass
@@ -35,6 +95,7 @@ class KWayResult:
     part_weights: List[float]
     runtime_seconds: float
     num_bisections: int
+    legal: bool = True  #: every part inside the documented balance window
 
     def max_imbalance(self) -> float:
         """Largest relative deviation of any part from perfect balance."""
@@ -85,10 +146,9 @@ class RecursiveBisection:
         n = hypergraph.num_vertices
         assignment = [0] * n
         counter = {"bisections": 0}
-        # Per-level tolerance: dividing the total budget by the depth
-        # keeps the final parts within the requested window.
-        depth = max(1, math.ceil(math.log2(self.k)))
-        level_tol = max(self.tolerance / depth, 0.01)
+        balance = KWayBalance(
+            hypergraph.total_vertex_weight, self.k, self.tolerance
+        )
         self._split(
             hypergraph,
             list(range(n)),
@@ -96,7 +156,8 @@ class RecursiveBisection:
             self.k,
             assignment,
             seed,
-            level_tol,
+            balance.lower_bound,
+            balance.upper_bound,
             counter,
         )
         weights = hypergraph.part_weights(assignment, self.k)
@@ -108,6 +169,7 @@ class RecursiveBisection:
             part_weights=weights,
             runtime_seconds=time.perf_counter() - t0,
             num_bisections=counter["bisections"],
+            legal=balance.is_legal(weights),
         )
 
     # ------------------------------------------------------------------
@@ -119,7 +181,8 @@ class RecursiveBisection:
         num_parts: int,
         assignment: List[int],
         seed: int,
-        level_tol: float,
+        part_min: float,
+        part_max: float,
         counter,
     ) -> None:
         if num_parts == 1 or not vertex_ids:
@@ -130,10 +193,28 @@ class RecursiveBisection:
         k_left = num_parts // 2
         k_right = num_parts - k_left
         target_left = k_left / num_parts
+        total = sum(hypergraph.vertex_weight(v) for v in vertex_ids)
+
+        # Admissible absolute window for the left side's weight: its
+        # k_left parts must each land in [part_min, part_max], and the
+        # complement (total - left) must leave the k_right side the
+        # same chance.
+        low = max(k_left * part_min, total - k_right * part_max)
+        high = min(k_left * part_max, total - k_right * part_min)
+        target = total * target_left
+        slack = min(target - low, high - target)
+        if k_left > 1 or k_right > 1:
+            # Non-leaf split: landing at the window edge would hand a
+            # child an empty (or, with integer weights, infeasible)
+            # window — e.g. a side of 641 whose two parts must both be
+            # <= 320.9.  Reserve half the slack for the levels below;
+            # each level recomputes its window from the weight that
+            # actually arrived, so the reserve compounds gracefully.
+            slack *= 0.5
 
         sub, mapping = hypergraph.induced_subgraph(vertex_ids)
         side = self._bisect(sub, target_left, seed + counter["bisections"],
-                            level_tol)
+                            slack)
         counter["bisections"] += 1
 
         left = [mapping[i] for i in range(sub.num_vertices) if side[i] == 0]
@@ -145,28 +226,38 @@ class RecursiveBisection:
             left, right = vertex_ids[:mid], vertex_ids[mid:]
 
         self._split(hypergraph, left, first_part, k_left, assignment,
-                    seed, level_tol, counter)
+                    seed, part_min, part_max, counter)
         self._split(hypergraph, right, first_part + k_left, k_right,
-                    assignment, seed, level_tol, counter)
+                    assignment, seed, part_min, part_max, counter)
 
     def _bisect(
         self,
         sub: Hypergraph,
         target_left: float,
         seed: int,
-        level_tol: float,
+        slack: float,
     ) -> Sequence[int]:
+        """One 2-way cut of ``sub`` aiming at ``target_left`` of its
+        weight on side 0, with at most ``slack`` absolute deviation.
+
+        The bipartitioner's 2-way convention puts each side within
+        ``padded_total * (0.5 ± tol/2)``, i.e. an absolute deviation of
+        ``padded_total * tol / 2`` — so the tolerance that realizes the
+        window is ``2 * slack / padded_total``.
+        """
+        total = sub.total_vertex_weight
         if abs(target_left - 0.5) < 1e-9:
-            partitioner = self.partitioner_factory(level_tol)
+            tol = 2.0 * slack / total if total > 0 else self.tolerance
+            partitioner = self.partitioner_factory(max(tol, _MIN_SPLIT_TOL))
             return partitioner.partition(sub, seed=seed).assignment
         # Uneven split (k not a power of two): bisect at the uneven
         # target by padding with a zero-degree dummy vertex of the
         # complementary weight, fixed to side 1.
-        total = sub.total_vertex_weight
-        # Dummy weight w such that target share of (total + w) equals
-        # 0.5: w = total * (1 - 2 * target_left) for target_left < 0.5.
         share = min(target_left, 1 - target_left)
+        # Dummy weight w such that share of (total + w) equals 0.5:
+        # w = total * (1 - 2 * share).
         dummy_weight = total * (1 - 2 * share)
+        padded_total = total + dummy_weight
         nets = [sub.pins_of(e) for e in sub.nets()]
         weights = sub.vertex_weights + [dummy_weight]
         padded = Hypergraph(
@@ -176,11 +267,15 @@ class RecursiveBisection:
             net_weights=sub.net_weights,
         )
         fixed: List[Optional[int]] = [None] * sub.num_vertices + [1]
-        partitioner = self.partitioner_factory(level_tol)
+        tol = 2.0 * slack / padded_total if padded_total > 0 else self.tolerance
+        partitioner = self.partitioner_factory(max(tol, _MIN_SPLIT_TOL))
         result = partitioner.partition(padded, seed=seed, fixed_parts=fixed)
         side = list(result.assignment[: sub.num_vertices])
-        if target_left > 0.5:
-            # The dummy sat with the *smaller* side; flip labels so that
-            # side 0 is the larger (target) side.
+        if target_left < 0.5:
+            # The dummy occupies side 1, so after a balanced padded cut
+            # side 0 holds the *larger* real share (total * (1-share))
+            # while the caller expects side 0 = the smaller target_left
+            # share; flip labels.  (k_left = num_parts // 2 makes
+            # target_left <= 0.5 always, so uneven splits always flip.)
             side = [1 - s for s in side]
         return side

@@ -14,6 +14,8 @@ principled way to run and report metaheuristic experiments —
 * :mod:`~repro.evaluation.cpu_norm` — cross-machine CPU normalization
   (paper footnote 9);
 * :mod:`~repro.evaluation.reporting` — the paper's table formats;
+* :mod:`~repro.evaluation.scenarios` — k-way and terminal-propagation
+  campaign workloads behind the bipartitioner protocol;
 * :mod:`~repro.evaluation.streaming` — live reports tailed from a
   running campaign's journal (import the submodule directly; it reaches
   into :mod:`repro.orchestrate` and is kept out of this namespace to
@@ -75,6 +77,13 @@ from repro.evaluation.runner import (
     run_configuration_evaluation,
     run_trials,
 )
+from repro.evaluation.scenarios import (
+    Scenario,
+    ScenarioHeuristic,
+    ScenarioResult,
+    balance_for,
+    kway_axes,
+)
 from repro.evaluation.stats_tests import (
     ComparisonResult,
     mann_whitney,
@@ -92,8 +101,12 @@ __all__ = [
     "KernelCache",
     "PerfPoint",
     "RankingDiagram",
+    "Scenario",
+    "ScenarioHeuristic",
+    "ScenarioResult",
     "TrialRecord",
     "ascii_table",
+    "balance_for",
     "avg_cut",
     "avg_runtime",
     "best_for_budget",
@@ -110,6 +123,7 @@ __all__ = [
     "expected_bsf_curve",
     "frontier_from_records",
     "group_by",
+    "kway_axes",
     "load_records",
     "mann_whitney",
     "min_avg_cell",

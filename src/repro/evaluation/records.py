@@ -17,7 +17,16 @@ from typing import Dict, Iterable, List, Union
 
 @dataclass(frozen=True)
 class TrialRecord:
-    """One independent single-start trial."""
+    """One independent single-start trial.
+
+    ``cut`` always holds the trial's *objective value* — the net cut
+    for 2-way trials, the connectivity ((lambda - 1)) sum or the HPWL
+    for scenario trials — so every downstream consumer (BSF curves,
+    Pareto frontiers, rankings, significance tests) ranks the objective
+    the scenario declared without knowing about scenarios.  ``k`` and
+    ``objective`` record which workload produced the value; records
+    saved before these fields existed load with the 2-way defaults.
+    """
 
     heuristic: str
     instance: str
@@ -25,6 +34,8 @@ class TrialRecord:
     cut: float
     runtime_seconds: float
     legal: bool
+    k: int = 2
+    objective: str = "cut"
 
 
 def group_by(

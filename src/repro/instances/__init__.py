@@ -6,6 +6,10 @@ in Section 2.1 and the suite mirrors the published ISPD98 cell counts at
 a documented scale.
 """
 
+from repro.instances.adversarial import (
+    adversarial_instance,
+    adversarial_names,
+)
 from repro.instances.generators import (
     corking_initial,
     corking_instance,
@@ -31,6 +35,8 @@ __all__ = [
     "Mutant",
     "SUITE",
     "SuiteSpec",
+    "adversarial_instance",
+    "adversarial_names",
     "corking_initial",
     "corking_instance",
     "generate_circuit",

@@ -1,0 +1,141 @@
+"""Adversarial instance registry: workloads built to stress heuristics.
+
+The synthetic suite (:mod:`repro.instances.suite`) mirrors *typical*
+ISPD98 statistics; a methodology that only ever sees typical inputs
+never flushes out the assumptions typical inputs happen to satisfy.
+This registry collects deterministic families chosen to violate one
+such assumption each:
+
+* ``adv-clique`` — clique blocks chained by single nets: locally dense
+  all-pairs connectivity with razor-thin inter-block cuts, the classic
+  trap for greedy move selection (every internal move looks equally
+  bad) and a worst case for net-by-net gain updates;
+* ``adv-rent-055`` / ``adv-rent-065`` / ``adv-rent-075`` — a Rent
+  exponent sweep: low-``p`` instances have deep natural cuts (easy),
+  high-``p`` instances approach random hypergraphs (hard), bracketing
+  the regime the suite samples from;
+* ``adv-clock`` — huge-net clock/reset stress: a handful of nets each
+  touching a large fraction of all cells.  Such nets are cut in almost
+  every balanced solution and their gain contributions are pure noise —
+  the instances that historically exposed corking and tie-breaking
+  pathologies;
+* ``adv-mutant-1`` / ``adv-mutant-2`` — isomorphic relabelings of the
+  same base netlist via :func:`repro.instances.perturb.mutant_family`
+  (Brglez's statistically-equivalent instance classes): any heuristic
+  whose ranking shifts between mutants is ranking vertex order, not
+  structure.
+
+Every entry is a pure function of its name and ``scale`` — builders
+seed private :class:`random.Random` streams and never touch process
+RNG state — so campaign journals referring to these names replay
+identically across processes and machines (pinned by the cross-process
+hash tests in ``tests/test_instances_determinism.py``).
+
+The registry is served through :func:`repro.instances.suite.suite_instance`
+as a fallback namespace, so every consumer of suite names — campaign
+specs, service ``InstanceSource(kind="suite")`` entries, CLI flags —
+accepts adversarial names with no new plumbing.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import Callable, Dict, List
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.instances.generators import generate_circuit
+from repro.instances.perturb import mutant_family
+
+#: Nominal (scale-1) cell counts, divided by ``scale`` like the suite.
+_NOMINAL_CELLS = 9600
+
+
+def _cells(scale: int) -> int:
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    return max(64, _NOMINAL_CELLS // scale)
+
+
+def _clique_chain(scale: int) -> Hypergraph:
+    """Clique blocks chained by single 2-pin bridge nets."""
+    n = _cells(scale)
+    clique = 8
+    rng = random.Random(4242)
+    num_blocks = max(2, n // clique)
+    nets: List[List[int]] = []
+    weights: List[float] = []
+    for b in range(num_blocks):
+        base = b * clique
+        members = list(range(base, base + clique))
+        for i in range(clique):
+            for j in range(i + 1, clique):
+                nets.append([members[i], members[j]])
+        if b + 1 < num_blocks:
+            # One thin bridge to the next block: the only good cuts.
+            nets.append([base + clique - 1, base + clique])
+    num_vertices = num_blocks * clique
+    for _ in range(num_vertices):
+        weights.append(1.0 + 0.25 * rng.random())
+    return Hypergraph(nets, num_vertices=num_vertices, vertex_weights=weights)
+
+
+def _rent(exponent: float, seed: int) -> Callable[[int], Hypergraph]:
+    def build(scale: int) -> Hypergraph:
+        return generate_circuit(
+            _cells(scale), seed=seed, rent_exponent=exponent
+        )
+
+    return build
+
+
+def _clock_stress(scale: int) -> Hypergraph:
+    """Standard clustered netlist plus massive clock/reset-like nets."""
+    return generate_circuit(
+        _cells(scale),
+        seed=9090,
+        num_global_nets=6,
+        global_net_fraction=0.30,
+    )
+
+
+def _mutant(index: int) -> Callable[[int], Hypergraph]:
+    def build(scale: int) -> Hypergraph:
+        base = generate_circuit(_cells(scale), seed=7700)
+        family = mutant_family(base, count=index, base_seed=5150)
+        return family[index - 1].hypergraph
+
+    return build
+
+
+_BUILDERS: Dict[str, Callable[[int], Hypergraph]] = {
+    "adv-clique": _clique_chain,
+    "adv-rent-055": _rent(0.55, 8801),
+    "adv-rent-065": _rent(0.65, 8802),
+    "adv-rent-075": _rent(0.75, 8803),
+    "adv-clock": _clock_stress,
+    "adv-mutant-1": _mutant(1),
+    "adv-mutant-2": _mutant(2),
+}
+
+
+def adversarial_names() -> List[str]:
+    """All adversarial registry names, sorted."""
+    return sorted(_BUILDERS)
+
+
+@lru_cache(maxsize=None)
+def adversarial_instance(name: str, scale: int = 16) -> Hypergraph:
+    """Build (and cache) one adversarial instance.
+
+    ``scale`` divides the nominal cell count exactly as it does for the
+    suite; identical (name, scale) always yields an identical
+    hypergraph.
+    """
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown adversarial instance {name!r}; "
+            f"valid: {', '.join(adversarial_names())}"
+        )
+    return builder(scale)

@@ -96,8 +96,22 @@ def suite_instance(
     """
     spec = SUITE.get(name)
     if spec is None:
+        # Fallback namespace: the adversarial registry.  Serving it
+        # through suite_instance means every consumer of suite names
+        # (campaign specs, service InstanceSource(kind="suite"), CLI
+        # flags) accepts adversarial names with no new plumbing.
+        # Adversarial instances define their own area model, so
+        # ``unit_areas`` does not apply to them.
+        from repro.instances.adversarial import (
+            adversarial_instance,
+            adversarial_names,
+        )
+
+        if name in adversarial_names():
+            return adversarial_instance(name, scale=scale)
         raise KeyError(
-            f"unknown suite instance {name!r}; valid: {', '.join(suite_names())}"
+            f"unknown suite instance {name!r}; valid: "
+            f"{', '.join(suite_names() + adversarial_names())}"
         )
     if scale < 1:
         raise ValueError("scale must be >= 1")

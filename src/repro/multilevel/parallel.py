@@ -786,7 +786,9 @@ def run_starts_pooled(
         perf.inrun_fanout_seconds += time.perf_counter() - t0
     result = MultistartResult(heuristic=name, instance=instance_name)
     best_cut = float("inf")
-    for i, (cut, elapsed, legal, assignment) in enumerate(payloads):
+    for i, (cut, elapsed, legal, _k, _objective, assignment) in enumerate(
+        payloads
+    ):
         result.starts.append(
             StartRecord(
                 seed=base_seed + i,

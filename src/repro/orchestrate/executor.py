@@ -240,12 +240,16 @@ class _TrialExecutor:
     ) -> Tuple[tuple, Optional[Dict[str, float]]]:
         """Execute one trial.
 
-        Returns ``((cut, runtime_seconds, legal), perf_wire)`` — the
-        same result triple the journal stores, plus this trial's kernel
-        perf counters in wire form (``None`` unless ``collect_perf``).
-        ``with_assignment`` appends the per-start assignment to the
-        payload (the in-run multistart fan-out needs it to reconstruct
-        ``best_assignment``); the journal triple stays untouched.
+        Returns ``((cut, runtime_seconds, legal, k, objective),
+        perf_wire)`` — the result tuple the journal stores, plus this
+        trial's kernel perf counters in wire form (``None`` unless
+        ``collect_perf``).  ``k``/``objective`` come from the
+        partitioner's own attributes (2-way/"cut" for plain
+        bipartitioners), computed worker-side so every execution plane
+        stamps records identically.  ``with_assignment`` appends the
+        per-start assignment to the payload (the in-run multistart
+        fan-out needs it to reconstruct ``best_assignment``); the
+        journal tuple stays untouched.
         """
         partitioner = self.heuristics[plan.heuristic]
         hg = self.instance(plan.instance)
@@ -277,7 +281,13 @@ class _TrialExecutor:
                 counters = getattr(engine_result, "perf", None)
                 if counters is not None:
                     perf.merge(counters)
-        payload = (result.cut, elapsed, bool(result.legal))
+        payload = (
+            result.cut,
+            elapsed,
+            bool(result.legal),
+            int(getattr(partitioner, "k", 2)),
+            str(getattr(partitioner, "objective", "cut")),
+        )
         if with_assignment:
             payload = payload + (list(result.assignment),)
         return payload, None if perf is None else _perf_to_wire(perf)
@@ -569,7 +579,7 @@ def execute_trials(
 
 # ----------------------------------------------------------------------
 def _ok_outcome(item: _PendingTrial, payload: tuple) -> TrialOutcome:
-    cut, elapsed, legal = payload
+    cut, elapsed, legal, k, objective = payload
     p = item.plan
     return TrialOutcome(
         trial=p.index,
@@ -581,6 +591,8 @@ def _ok_outcome(item: _PendingTrial, payload: tuple) -> TrialOutcome:
         runtime_seconds=elapsed,
         legal=legal,
         attempts=item.attempts + 1,
+        k=k,
+        objective=objective,
     )
 
 

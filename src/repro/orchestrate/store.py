@@ -52,6 +52,11 @@ class TrialOutcome:
     legal: Optional[bool] = None
     error: Optional[str] = None
     attempts: int = 1
+    #: Scenario axes: part count and ranked objective ("cut",
+    #: "connectivity" or "hpwl").  Journals written before these fields
+    #: existed parse with the 2-way defaults.
+    k: int = 2
+    objective: str = "cut"
 
     @property
     def ok(self) -> bool:
@@ -68,6 +73,8 @@ class TrialOutcome:
             cut=self.cut,
             runtime_seconds=self.runtime_seconds,
             legal=self.legal,
+            k=self.k,
+            objective=self.objective,
         )
 
 

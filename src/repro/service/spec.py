@@ -22,12 +22,18 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.evaluation.campaign import CampaignSpec
-from repro.hypergraph.hypergraph import Hypergraph
 
 #: Engine ladder names accepted in ``JobSpec.engines`` — the same names
 #: ``repro partition --engine`` takes, built by the same factory, so a
-#: service job computes exactly what the standalone CLI computes.
-ENGINE_NAMES = ("flat-lifo", "flat-clip", "ml-lifo", "ml-clip", "weak")
+#: service job computes exactly what the standalone CLI computes.  The
+#: canonical tuple lives next to the scenario layer, which shares the
+#: vocabulary for its inner bipartitioners.
+from repro.evaluation.scenarios import (
+    ENGINE_NAMES,
+    Scenario,
+    ScenarioHeuristic,
+)
+from repro.hypergraph.hypergraph import Hypergraph
 
 
 def make_engine(engine: str, tolerance: float):
@@ -145,7 +151,11 @@ class JobSpec:
 
     name: str
     instances: List[InstanceSource]
-    engines: List[str]
+    engines: List[str] = field(default_factory=list)
+    #: Declarative k-way / terminal-propagation workloads raced
+    #: alongside (or instead of) the 2-way engine ladder; each becomes
+    #: one campaign heuristic via :class:`ScenarioHeuristic`.
+    scenarios: List[Scenario] = field(default_factory=list)
     num_starts: int = 10
     base_seed: int = 0
     tolerance: float = 0.02
@@ -171,8 +181,8 @@ class JobSpec:
         labels = [src.label for src in self.instances]
         if len(set(labels)) != len(labels):
             raise ValueError("instance labels must be unique within a job")
-        if not self.engines:
-            raise ValueError("job needs at least one engine")
+        if not self.engines and not self.scenarios:
+            raise ValueError("job needs at least one engine or scenario")
         if len(set(self.engines)) != len(self.engines):
             raise ValueError("engine list must not repeat entries")
         for engine in self.engines:
@@ -180,6 +190,9 @@ class JobSpec:
                 raise ValueError(
                     f"unknown engine {engine!r}; choose from {ENGINE_NAMES}"
                 )
+        scenario_names = [s.name for s in self.scenarios]
+        if len(set(scenario_names)) != len(scenario_names):
+            raise ValueError("scenario names must be unique within a job")
         if self.num_starts < 1:
             raise ValueError("num_starts must be >= 1")
         if self.priority < 1:
@@ -195,8 +208,13 @@ class JobSpec:
 
     # ------------------------------------------------------------------
     def build_heuristics(self) -> List[object]:
-        """The engine-ladder partitioners this job races."""
-        return [make_engine(name, self.tolerance) for name in self.engines]
+        """The partitioners this job races: engine-ladder 2-way engines
+        followed by scenario adapters, in declaration order."""
+        heuristics: List[object] = [
+            make_engine(name, self.tolerance) for name in self.engines
+        ]
+        heuristics.extend(ScenarioHeuristic(s) for s in self.scenarios)
+        return heuristics
 
     def campaign_spec(
         self, instances: Dict[str, Hypergraph]
@@ -222,7 +240,7 @@ class JobSpec:
 
     # -- wire format ----------------------------------------------------
     def to_json(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "name": self.name,
             "instances": [src.to_json() for src in self.instances],
             "engines": list(self.engines),
@@ -238,6 +256,12 @@ class JobSpec:
             "sticky_pool_size": self.sticky_pool_size,
             "inrun_workers": self.inrun_workers,
         }
+        if self.scenarios:
+            # Emitted only when present so engine-only specs keep their
+            # pre-scenario wire form (and therefore their fingerprints,
+            # which job ids and resume-after-restart paths embed).
+            out["scenarios"] = [s.to_json() for s in self.scenarios]
+        return out
 
     @staticmethod
     def from_json(data: Dict[str, object]) -> "JobSpec":
@@ -247,7 +271,10 @@ class JobSpec:
             instances=[
                 InstanceSource.from_json(d) for d in data["instances"]
             ],
-            engines=[str(e) for e in data["engines"]],
+            engines=[str(e) for e in data.get("engines", [])],
+            scenarios=[
+                Scenario.from_json(d) for d in data.get("scenarios", [])
+            ],
             num_starts=int(data.get("num_starts", 10)),
             base_seed=int(data.get("base_seed", 0)),
             tolerance=float(data.get("tolerance", 0.02)),

@@ -1,0 +1,179 @@
+"""Cross-process determinism pins for every instance generator.
+
+Campaign journals refer to instances by name (suite entries,
+adversarial registry, generator calls); resume, the service's shared
+instance cache and the cross-machine reporting story all assume those
+names rebuild *bit-identical* hypergraphs in any process.  These tests
+pin a canonical SHA-256 of each construction — in this process and in
+a fresh subprocess — so any accidental dependence on process RNG
+state, hash randomization or import order shows up as a hard failure,
+and so do silent generator changes (which would orphan every existing
+journal).
+"""
+
+import hashlib
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.instances import (
+    adversarial_instance,
+    adversarial_names,
+    generate_circuit,
+    mutant_family,
+    suite_instance,
+)
+
+pytestmark = pytest.mark.kway
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def hg_hash(hg):
+    """Canonical content hash of a hypergraph."""
+    blob = json.dumps(
+        {
+            "nets": [hg.pins_of(e) for e in hg.nets()],
+            "net_weights": hg.net_weights,
+            "vertex_weights": hg.vertex_weights,
+            "num_vertices": hg.num_vertices,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+#: Pinned hashes.  A failure here means the generator's output changed:
+#: either an accidental nondeterminism (fix the generator) or a real
+#: change (bump the pin AND note that existing journals referring to
+#: the name no longer replay).
+PINS = {
+    "suite:ibm01s/32": (
+        "572ddf81d55efbfbdf20fae870db44f2ca8475fa651a76ecc9a1d7ca2cfe10b7"
+    ),
+    "adv:adv-clique/32": (
+        "33e63a0da5f32656312a60e6bf3eaed6a672f1143bf349addc38efeca274ea44"
+    ),
+    "adv:adv-rent-065/32": (
+        "12e4a9d491d0d5d8c037d568fa59629a4c40fde713b6610873042b9c2c9214fc"
+    ),
+    "adv:adv-clock/32": (
+        "006ea2efea4c1112b6e6373cda051d9c91e8c4d819b5cee3e117342fbf49d0d8"
+    ),
+    "adv:adv-mutant-2/32": (
+        "823f6b851e5e1562c27bcba6cea612c7c775531614e29a67c3230dd187909e7f"
+    ),
+    "generate:200/42": (
+        "7585e8737d9540684eab5ac8f31ac3d728775af509a606ccad908a289b9aa2a3"
+    ),
+    "mutant:120/7/99/0": (
+        "a35402044054d9452fdd1a1b88a35779bcea9bf95dfe2f59848b745e48ed369c"
+    ),
+    "mutant:120/7/99/1": (
+        "a3c4500a121a99bec4dcf81a2f877730487b2e7d70db9b5c311c0303aa036fa4"
+    ),
+}
+
+BUILD_SNIPPET = """
+import hashlib, json, sys
+sys.path.insert(0, {src!r})
+from repro.instances import (adversarial_instance, generate_circuit,
+                             mutant_family, suite_instance)
+
+
+def hg_hash(hg):
+    blob = json.dumps({{
+        "nets": [hg.pins_of(e) for e in hg.nets()],
+        "net_weights": hg.net_weights,
+        "vertex_weights": hg.vertex_weights,
+        "num_vertices": hg.num_vertices,
+    }}, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+out = {{}}
+out["suite:ibm01s/32"] = hg_hash(suite_instance("ibm01s", scale=32))
+for name in ("adv-clique", "adv-rent-065", "adv-clock", "adv-mutant-2"):
+    out["adv:" + name + "/32"] = hg_hash(
+        adversarial_instance(name, scale=32))
+out["generate:200/42"] = hg_hash(generate_circuit(200, seed=42))
+fam = mutant_family(generate_circuit(120, seed=7), count=2, base_seed=99)
+out["mutant:120/7/99/0"] = hg_hash(fam[0].hypergraph)
+out["mutant:120/7/99/1"] = hg_hash(fam[1].hypergraph)
+print(json.dumps(out))
+"""
+
+
+def build_all_in_process():
+    out = {
+        "suite:ibm01s/32": hg_hash(suite_instance("ibm01s", scale=32)),
+        "generate:200/42": hg_hash(generate_circuit(200, seed=42)),
+    }
+    for name in ("adv-clique", "adv-rent-065", "adv-clock", "adv-mutant-2"):
+        out[f"adv:{name}/32"] = hg_hash(
+            adversarial_instance(name, scale=32)
+        )
+    fam = mutant_family(generate_circuit(120, seed=7), count=2, base_seed=99)
+    out["mutant:120/7/99/0"] = hg_hash(fam[0].hypergraph)
+    out["mutant:120/7/99/1"] = hg_hash(fam[1].hypergraph)
+    return out
+
+
+class TestPinnedHashes:
+    def test_in_process_matches_pins(self):
+        assert build_all_in_process() == PINS
+
+    def test_fresh_subprocess_matches_pins(self):
+        # A brand-new interpreter (fresh RNG module state, fresh hash
+        # seed) must reproduce every pin bit for bit.
+        proc = subprocess.run(
+            [sys.executable, "-c", BUILD_SNIPPET.format(src=SRC)],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert json.loads(proc.stdout) == PINS
+
+
+class TestRegistryProperties:
+    def test_adversarial_names_served_through_suite(self):
+        for name in adversarial_names():
+            hg = suite_instance(name, scale=32)
+            assert hg is adversarial_instance(name, scale=32)
+
+    def test_unknown_name_lists_both_namespaces(self):
+        with pytest.raises(KeyError, match="adv-clique"):
+            suite_instance("no-such-instance")
+
+    def test_mutants_are_isomorphic_not_identical(self):
+        a = adversarial_instance("adv-mutant-1", scale=32)
+        b = adversarial_instance("adv-mutant-2", scale=32)
+        assert a.num_vertices == b.num_vertices
+        assert a.num_nets == b.num_nets
+        assert hg_hash(a) != hg_hash(b)
+
+    def test_clique_chain_structure(self):
+        hg = adversarial_instance("adv-clique", scale=32)
+        # 8-vertex blocks: all-pairs nets inside, single bridges between.
+        assert hg.num_vertices % 8 == 0
+        blocks = hg.num_vertices // 8
+        assert hg.num_nets == blocks * 28 + (blocks - 1)
+
+    def test_clock_stress_has_huge_nets(self):
+        hg = adversarial_instance("adv-clock", scale=32)
+        largest = max(len(hg.pins_of(e)) for e in hg.nets())
+        assert largest >= 0.2 * hg.num_vertices
+
+    def test_rent_sweep_hardens_with_exponent(self):
+        lo = adversarial_instance("adv-rent-055", scale=32)
+        hi = adversarial_instance("adv-rent-075", scale=32)
+        assert lo.num_vertices == hi.num_vertices
+        assert hg_hash(lo) != hg_hash(hi)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            adversarial_instance("adv-clique", scale=0)

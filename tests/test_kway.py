@@ -1,0 +1,146 @@
+"""Regression tests for the k-way balance convention and the
+recursive-bisection objective accounting.
+
+Two historical bugs are pinned here:
+
+* uneven splits (k not a power of two) used to leave the larger real
+  share on side 0 where the smaller was expected — a dead label-flip
+  condition — so k=3 produced grossly imbalanced parts that the old
+  per-level tolerance split never caught;
+* the per-level tolerance budget divided the relative tolerance by the
+  recursion depth, over- or under-budgeting whenever k was not a power
+  of two.  The absolute-window budget carries the final per-part bounds
+  through the recursion instead, so the documented window
+  ``total/k * (1 +- t*k/(2(k-1)))`` holds for every k.
+
+The accounting tests are the lambda-1 audit: ``KWayResult.cut`` and
+``.connectivity`` must equal an independent per-net recount of the
+final assignment (no per-level double counting of spanning nets), and
+on an instance with a known optimum recursive bisection must find it.
+"""
+
+import pytest
+
+from repro.core import KWayBalance, RecursiveBisection
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.instances import generate_circuit
+
+pytestmark = pytest.mark.kway
+
+
+@pytest.fixture(scope="module")
+def hg():
+    return generate_circuit(300, seed=100)
+
+
+def brute_objectives(hg, assignment):
+    """Per-net recount of (cut, connectivity), independent of the
+    engine's incremental ledgers."""
+    cut = 0.0
+    conn = 0.0
+    for e in hg.nets():
+        parts = {assignment[p] for p in hg.pins_of(e)}
+        w = hg.net_weight(e)
+        if len(parts) > 1:
+            cut += w
+        conn += w * (len(parts) - 1)
+    return cut, conn
+
+
+class TestBalanceConvention:
+    """The documented per-k window, enforced at the awkward k values."""
+
+    @pytest.mark.parametrize("k", [3, 5, 6, 8])
+    def test_window_holds_at_tolerance_010(self, hg, k):
+        result = RecursiveBisection(k, tolerance=0.1).partition(hg, seed=0)
+        balance = KWayBalance(hg.total_vertex_weight, k, 0.1)
+        assert result.legal
+        assert balance.is_legal(result.part_weights)
+        assert result.max_imbalance() <= balance.epsilon + 1e-9
+
+    @pytest.mark.parametrize("k", [3, 5, 6, 8])
+    def test_every_part_populated(self, hg, k):
+        result = RecursiveBisection(k, tolerance=0.1).partition(hg, seed=1)
+        assert set(result.assignment) == set(range(k))
+
+    def test_epsilon_reduces_to_2way(self):
+        # k=2 must reproduce the paper's 0.5 +- t/2 convention exactly.
+        b = KWayBalance(1000.0, 2, 0.02)
+        assert b.lower_bound == pytest.approx(490.0)
+        assert b.upper_bound == pytest.approx(510.0)
+
+    def test_uneven_split_puts_smaller_share_left(self, hg):
+        # k=3 splits 1/3 vs 2/3 at the root; the regression was parts
+        # like [1261, 295, 305] (the 2/3 share landing on the 1/3
+        # side).  Part 0 must hold roughly a third.
+        result = RecursiveBisection(3, tolerance=0.1).partition(hg, seed=0)
+        ideal = hg.total_vertex_weight / 3.0
+        for w in result.part_weights:
+            assert w == pytest.approx(ideal, rel=0.2)
+
+    def test_illegal_outcome_reported_not_hidden(self):
+        # One giant macro makes every 4-way window infeasible; the
+        # result must say so rather than claim legality.
+        hg = Hypergraph(
+            [[0, 1], [1, 2], [2, 3], [3, 4], [4, 5]],
+            num_vertices=6,
+            vertex_weights=[100.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        )
+        result = RecursiveBisection(4, tolerance=0.1).partition(hg, seed=0)
+        assert not result.legal
+        balance = KWayBalance(hg.total_vertex_weight, 4, 0.1)
+        assert not balance.is_legal(result.part_weights)
+
+
+class TestObjectiveAccounting:
+    """KWayResult.cut / .connectivity vs an independent recount."""
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_matches_brute_force_recount(self, hg, k):
+        result = RecursiveBisection(k, tolerance=0.1).partition(hg, seed=2)
+        cut, conn = brute_objectives(hg, result.assignment)
+        assert result.cut == pytest.approx(cut)
+        assert result.connectivity == pytest.approx(conn)
+        # lambda-1 dominates plain cut and is bounded by (k-1) * cut.
+        assert result.cut <= result.connectivity <= (k - 1) * result.cut
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_exact_small_instance_oracle(self, seed):
+        # Three 4-vertex cliques (all-pairs 2-pin nets of weight 3)
+        # plus one 3-pin net of weight 2 touching one vertex of each
+        # clique.  The unique optimal 3-way solution cuts exactly the
+        # spanning net: cut = 2, connectivity = (3 - 1) * 2 = 4 (any
+        # cut through a clique costs >= 9).  A recursion that
+        # re-counted spanning nets per level would report cut 4 — the
+        # net crosses both bisections — which is the double-count bug
+        # this pins.  Tolerance 0.8 keeps the per-split windows wider
+        # than one unit-weight move, so FM can actually search.
+        from itertools import combinations
+
+        nets = []
+        weights = []
+        for c in range(3):
+            base = 4 * c
+            for i, j in combinations(range(4), 2):
+                nets.append([base + i, base + j])
+                weights.append(3.0)
+        nets.append([0, 4, 8])
+        weights.append(2.0)
+        hg = Hypergraph(nets, num_vertices=12, net_weights=weights)
+        result = RecursiveBisection(3, tolerance=0.8).partition(
+            hg, seed=seed
+        )
+        assert result.legal
+        assert result.cut == pytest.approx(2.0)
+        assert result.connectivity == pytest.approx(4.0)
+        assert result.part_weights == [4.0, 4.0, 4.0]
+        cut, conn = brute_objectives(hg, result.assignment)
+        assert result.cut == pytest.approx(cut)
+        assert result.connectivity == pytest.approx(conn)
+
+    def test_deterministic_across_runs(self, hg):
+        a = RecursiveBisection(5, tolerance=0.1).partition(hg, seed=9)
+        b = RecursiveBisection(5, tolerance=0.1).partition(hg, seed=9)
+        assert a.assignment == b.assignment
+        assert a.cut == b.cut
+        assert a.connectivity == b.connectivity

@@ -3,9 +3,14 @@
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import KWayBalance, KWayFM, PartitionK, RecursiveBisection
+from repro.hypergraph.hypergraph import Hypergraph
 from repro.instances import generate_circuit, random_hypergraph
+
+pytestmark = pytest.mark.kway
 
 
 @pytest.fixture(scope="module")
@@ -147,3 +152,88 @@ class TestKWayFM:
         recursive = RecursiveBisection(4, tolerance=0.2).partition(hg, seed=0)
         assert direct.cut <= recursive.cut * 2.5
         assert recursive.cut <= direct.cut * 2.5
+
+
+@st.composite
+def degenerate_hypergraphs(draw):
+    """Hypergraphs stacked with the inputs the incremental ledgers
+    historically mishandled: single-pin nets (span one part forever),
+    zero-weight nets and vertices (no-op contributions that must stay
+    no-ops), and macro-scale 1e6 weights (where an absolute 1e-9
+    consistency tolerance is below one ulp of the running sum)."""
+    n = draw(st.integers(min_value=4, max_value=14))
+    num_nets = draw(st.integers(min_value=1, max_value=20))
+    nets = []
+    net_weights = []
+    for _ in range(num_nets):
+        pins = sorted(
+            draw(
+                st.sets(
+                    st.integers(0, n - 1),
+                    min_size=1,
+                    max_size=min(5, n),
+                )
+            )
+        )
+        nets.append(pins)
+        net_weights.append(draw(st.sampled_from([0.0, 0.5, 1.0, 1e6])))
+    vertex_weights = [
+        draw(st.sampled_from([0.0, 1.0, 2.5, 1e6])) for _ in range(n)
+    ]
+    return Hypergraph(
+        nets,
+        num_vertices=n,
+        vertex_weights=vertex_weights,
+        net_weights=net_weights,
+    )
+
+
+class TestPartitionKDegenerateFuzz:
+    """Ledger-drift fuzz (the PR's zero-weight / single-pin bugfix)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hg=degenerate_hypergraphs(),
+        k=st.integers(2, 4),
+        seed=st.integers(0, 2**16),
+    )
+    def test_ledgers_survive_random_moves(self, hg, k, seed):
+        rng = random.Random(seed)
+        a = [rng.randrange(k) for _ in range(hg.num_vertices)]
+        part = PartitionK(hg, a, k=k)
+        for _ in range(120):
+            part.move(rng.randrange(hg.num_vertices), rng.randrange(k))
+        # Raises when the incremental cut/connectivity/part-weight
+        # ledgers have drifted from a fresh recount.
+        part.check_consistency()
+
+    @settings(max_examples=25, deadline=None)
+    @given(hg=degenerate_hypergraphs(), seed=st.integers(0, 2**16))
+    def test_gain_matches_brute_force(self, hg, seed):
+        rng = random.Random(seed)
+        k = 3
+        a = [rng.randrange(k) for _ in range(hg.num_vertices)]
+        part = PartitionK(hg, a, k=k)
+        for _ in range(10):
+            v = rng.randrange(hg.num_vertices)
+            dest = rng.randrange(k)
+            for objective in ("cut", "connectivity"):
+                g = part.gain(v, dest, objective)
+                clone = PartitionK(hg, part.assignment, k)
+                before = (
+                    clone.cut if objective == "cut" else clone.connectivity
+                )
+                clone.move(v, dest)
+                after = (
+                    clone.cut if objective == "cut" else clone.connectivity
+                )
+                assert g == pytest.approx(before - after, abs=1e-6)
+            part.move(v, dest)
+
+    @settings(max_examples=15, deadline=None)
+    @given(hg=degenerate_hypergraphs(), seed=st.integers(0, 2**10))
+    def test_kway_fm_survives_degenerate_inputs(self, hg, seed):
+        result = KWayFM(3, tolerance=0.5).partition(hg, seed=seed)
+        assert result.cut == hg.cut_size(result.assignment)
+        assert result.connectivity == hg.connectivity_cut(result.assignment)
+        assert len(result.assignment) == hg.num_vertices

@@ -1,0 +1,1255 @@
+/* Flat-array kernels: line-for-line C translation of flatref.py.
+ *
+ * Built by repro/backends/cnative.py with the system C compiler
+ * (-O2 -fPIC -shared, deliberately WITHOUT -ffast-math: every float
+ * operation must round exactly like CPython/numpy so the registry
+ * self-check and the equivalence suites hold bit for bit).
+ *
+ * Conventions mirrored from flatref.py:
+ *   - all index/count/gain arrays are int64_t (cut arithmetic is exact
+ *     in the integral regime the FM kernel requires);
+ *   - float accumulations run in the same order as the Python kernels;
+ *   - the Mersenne Twister replicates CPython's _randommodule.c
+ *     (genrand_uint32 twist + temper, genrand_res53 for random(),
+ *     _randbelow rejection sampling for shuffle), with the 624-word
+ *     state carried in an int64_t array holding uint32 values.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+#include <math.h>
+
+#define MT_N 624
+#define MT_M 397
+#define MT_MATRIX_A 0x9908B0DFu
+#define MT_UPPER 0x80000000u
+#define MT_LOWER 0x7FFFFFFFu
+
+static inline uint32_t
+mt_next(int64_t *mt, int64_t *mti)
+{
+    uint32_t y;
+    if (*mti >= MT_N) {
+        for (int t = 0; t < MT_N; t++) {
+            y = (((uint32_t)mt[t]) & MT_UPPER)
+                | (((uint32_t)mt[(t + 1) % MT_N]) & MT_LOWER);
+            uint32_t vv = ((uint32_t)mt[(t + MT_M) % MT_N]) ^ (y >> 1);
+            if (y & 1u)
+                vv ^= MT_MATRIX_A;
+            mt[t] = (int64_t)vv;
+        }
+        *mti = 0;
+    }
+    y = (uint32_t)mt[*mti];
+    *mti += 1;
+    y ^= y >> 11;
+    y ^= (y << 7) & 0x9D2C5680u;
+    y ^= (y << 15) & 0xEFC60000u;
+    y ^= y >> 18;
+    return y;
+}
+
+static inline double
+mt_random(int64_t *mt, int64_t *mti)
+{
+    uint32_t a = mt_next(mt, mti) >> 5;
+    uint32_t b = mt_next(mt, mti) >> 6;
+    return (a * 67108864.0 + b) * (1.0 / 9007199254740992.0);
+}
+
+/* ------------------------------------------------------------------ */
+/* FM pass kernel                                                      */
+/* ------------------------------------------------------------------ */
+void
+fm_pass(const int64_t *net_ptr, const int64_t *net_pins,
+        const int64_t *vtx_ptr, const int64_t *vtx_nets,
+        const int64_t *net_w, const int64_t *vwt,
+        int64_t *assign, const int64_t *fixed,
+        int64_t *pins0, int64_t *pins1, int64_t *pw, int64_t *cut_io,
+        double lo, double hi, double slack,
+        int64_t initial_legal, double initial_distance,
+        int64_t clip, int64_t update_all, int64_t tie_bias,
+        int64_t order_code, int64_t best_choice, int64_t illegal_code,
+        int64_t guard, int64_t max_abs,
+        int64_t *mt, int64_t *mti_io, int64_t *move_log, int64_t *out,
+        int64_t n, int64_t m)
+{
+    int64_t offset = max_abs;
+    int64_t span = 2 * offset + 1;
+    int64_t mti = mti_io[0];
+
+    int64_t *snap_assign = malloc(sizeof(int64_t) * (size_t)n);
+    int64_t *snap_pins0 = malloc(sizeof(int64_t) * (size_t)m);
+    int64_t *snap_pins1 = malloc(sizeof(int64_t) * (size_t)m);
+    int64_t *heads0 = malloc(sizeof(int64_t) * (size_t)span);
+    int64_t *tails0 = malloc(sizeof(int64_t) * (size_t)span);
+    int64_t *heads1 = malloc(sizeof(int64_t) * (size_t)span);
+    int64_t *tails1 = malloc(sizeof(int64_t) * (size_t)span);
+    int64_t *prev0 = malloc(sizeof(int64_t) * (size_t)n);
+    int64_t *next0 = malloc(sizeof(int64_t) * (size_t)n);
+    int64_t *prev1 = malloc(sizeof(int64_t) * (size_t)n);
+    int64_t *next1 = malloc(sizeof(int64_t) * (size_t)n);
+    int64_t *key0 = calloc((size_t)n, sizeof(int64_t));
+    int64_t *key1 = calloc((size_t)n, sizeof(int64_t));
+    uint8_t *pres0 = calloc((size_t)n, sizeof(uint8_t));
+    uint8_t *pres1 = calloc((size_t)n, sizeof(uint8_t));
+    int64_t *gain = calloc((size_t)n, sizeof(int64_t));
+    int64_t *elig = calloc((size_t)n, sizeof(int64_t));
+    int64_t *cut_log = calloc((size_t)n, sizeof(int64_t));
+    double *dist_log = calloc((size_t)n, sizeof(double));
+
+    memcpy(snap_assign, assign, sizeof(int64_t) * (size_t)n);
+    memcpy(snap_pins0, pins0, sizeof(int64_t) * (size_t)m);
+    memcpy(snap_pins1, pins1, sizeof(int64_t) * (size_t)m);
+    int64_t snap_pw0 = pw[0];
+    int64_t snap_pw1 = pw[1];
+    int64_t cut_before = cut_io[0];
+    int64_t cut = cut_before;
+
+    for (int64_t i = 0; i < span; i++) {
+        heads0[i] = -1;
+        tails0[i] = -1;
+        heads1[i] = -1;
+        tails1[i] = -1;
+    }
+    for (int64_t i = 0; i < n; i++) {
+        prev0[i] = -1;
+        next0[i] = -1;
+        prev1[i] = -1;
+        next1[i] = -1;
+    }
+    int64_t maxi0 = -1;
+    int64_t maxi1 = -1;
+
+    int rnd_order = order_code == 2;
+    int head_order = order_code == 0;
+
+    /* ----- seed gains and collect eligible vertices --------------- */
+    int64_t ecount = 0;
+    for (int64_t v = 0; v < n; v++) {
+        if (fixed[v] != 0)
+            continue;
+        if (guard != 0 && (double)vwt[v] > slack)
+            continue;
+        int64_t g = 0;
+        if (assign[v] == 0) {
+            for (int64_t i = vtx_ptr[v]; i < vtx_ptr[v + 1]; i++) {
+                int64_t e = vtx_nets[i];
+                if (pins0[e] == 1)
+                    g += net_w[e];
+                if (pins1[e] == 0)
+                    g -= net_w[e];
+            }
+        } else {
+            for (int64_t i = vtx_ptr[v]; i < vtx_ptr[v + 1]; i++) {
+                int64_t e = vtx_nets[i];
+                if (pins1[e] == 1)
+                    g += net_w[e];
+                if (pins0[e] == 0)
+                    g -= net_w[e];
+            }
+        }
+        gain[v] = g;
+        elig[ecount] = v;
+        ecount += 1;
+    }
+
+    int64_t error = 0;
+    if (clip != 0) {
+        /* Stable counting sort by initial gain, then head insertion
+         * into each side's zero bucket (CLIP seeding). */
+        int64_t *cnt = calloc((size_t)(span + 1), sizeof(int64_t));
+        int64_t *sorted_elig = calloc((size_t)n, sizeof(int64_t));
+        for (int64_t i = 0; i < ecount; i++)
+            cnt[gain[elig[i]] + offset] += 1;
+        int64_t acc = 0;
+        for (int64_t k = 0; k < span; k++) {
+            int64_t c = cnt[k];
+            cnt[k] = acc;
+            acc += c;
+        }
+        for (int64_t i = 0; i < ecount; i++) {
+            int64_t v = elig[i];
+            int64_t idx = gain[v] + offset;
+            sorted_elig[cnt[idx]] = v;
+            cnt[idx] += 1;
+        }
+        int64_t idx = offset;
+        for (int64_t i = 0; i < ecount; i++) {
+            int64_t v = sorted_elig[i];
+            if (assign[v] == 0) {
+                int64_t old = heads0[idx];
+                if (old == -1) {
+                    heads0[idx] = v;
+                    tails0[idx] = v;
+                    prev0[v] = -1;
+                    next0[v] = -1;
+                } else {
+                    next0[v] = old;
+                    prev0[v] = -1;
+                    prev0[old] = v;
+                    heads0[idx] = v;
+                }
+                key0[v] = 0;
+                pres0[v] = 1;
+                maxi0 = idx;
+            } else {
+                int64_t old = heads1[idx];
+                if (old == -1) {
+                    heads1[idx] = v;
+                    tails1[idx] = v;
+                    prev1[v] = -1;
+                    next1[v] = -1;
+                } else {
+                    next1[v] = old;
+                    prev1[v] = -1;
+                    prev1[old] = v;
+                    heads1[idx] = v;
+                }
+                key1[v] = 0;
+                pres1[v] = 1;
+                maxi1 = idx;
+            }
+        }
+        free(cnt);
+        free(sorted_elig);
+    } else {
+        for (int64_t i = 0; i < ecount; i++) {
+            int64_t v = elig[i];
+            int64_t k = gain[v];
+            int64_t idx = k + offset;
+            if (idx < 0 || idx >= span) {
+                error = 1;
+                goto finish_error;
+            }
+            /* Coin drawn before the empty-bucket branch, exactly as
+             * GainBuckets.insert does. */
+            int at_head;
+            if (rnd_order)
+                at_head = mt_random(mt, &mti) < 0.5;
+            else
+                at_head = head_order;
+            if (assign[v] == 0) {
+                int64_t old = heads0[idx];
+                if (old == -1) {
+                    heads0[idx] = v;
+                    tails0[idx] = v;
+                    prev0[v] = -1;
+                    next0[v] = -1;
+                } else if (at_head) {
+                    next0[v] = old;
+                    prev0[v] = -1;
+                    prev0[old] = v;
+                    heads0[idx] = v;
+                } else {
+                    int64_t tl = tails0[idx];
+                    prev0[v] = tl;
+                    next0[v] = -1;
+                    next0[tl] = v;
+                    tails0[idx] = v;
+                }
+                key0[v] = k;
+                pres0[v] = 1;
+                if (idx > maxi0)
+                    maxi0 = idx;
+            } else {
+                int64_t old = heads1[idx];
+                if (old == -1) {
+                    heads1[idx] = v;
+                    tails1[idx] = v;
+                    prev1[v] = -1;
+                    next1[v] = -1;
+                } else if (at_head) {
+                    next1[v] = old;
+                    prev1[v] = -1;
+                    prev1[old] = v;
+                    heads1[idx] = v;
+                } else {
+                    int64_t tl = tails1[idx];
+                    prev1[v] = tl;
+                    next1[v] = -1;
+                    next1[tl] = v;
+                    tails1[idx] = v;
+                }
+                key1[v] = k;
+                pres1[v] = 1;
+                if (idx > maxi1)
+                    maxi1 = idx;
+            }
+        }
+    }
+
+    {
+        int scan_bucket = illegal_code == 2;
+        int skip_part = illegal_code == 1;
+        int bias_part0 = tie_bias == 1;
+        int bias_away = tie_bias == 0;
+
+        int64_t mcount = 0;
+        int64_t last_src = -1;
+        int64_t n_selects = 0;
+        int64_t n_updates = 0;
+        int64_t n_zero_skips = 0;
+        int64_t n_net_skips = 0;
+
+        for (;;) {
+            /* ----- select the best legal move (per side) ---------- */
+            n_selects += 1;
+            while (maxi0 >= 0 && heads0[maxi0] == -1)
+                maxi0 -= 1;
+            int64_t v0 = -1;
+            int64_t k0 = 0;
+            int64_t dw = pw[1];
+            int64_t idx = maxi0;
+            if (scan_bucket) {
+                while (idx >= 0) {
+                    int64_t u = heads0[idx];
+                    while (u != -1) {
+                        if ((double)(dw + vwt[u]) <= hi) {
+                            v0 = u;
+                            k0 = idx - offset;
+                            break;
+                        }
+                        u = next0[u];
+                    }
+                    if (v0 >= 0)
+                        break;
+                    idx -= 1;
+                }
+            } else {
+                while (idx >= 0) {
+                    int64_t u = heads0[idx];
+                    if (u != -1) {
+                        if ((double)(dw + vwt[u]) <= hi) {
+                            v0 = u;
+                            k0 = idx - offset;
+                            break;
+                        }
+                        if (skip_part)
+                            break;
+                    }
+                    idx -= 1;
+                }
+            }
+
+            while (maxi1 >= 0 && heads1[maxi1] == -1)
+                maxi1 -= 1;
+            int64_t v1 = -1;
+            int64_t k1 = 0;
+            dw = pw[0];
+            idx = maxi1;
+            if (scan_bucket) {
+                while (idx >= 0) {
+                    int64_t u = heads1[idx];
+                    while (u != -1) {
+                        if ((double)(dw + vwt[u]) <= hi) {
+                            v1 = u;
+                            k1 = idx - offset;
+                            break;
+                        }
+                        u = next1[u];
+                    }
+                    if (v1 >= 0)
+                        break;
+                    idx -= 1;
+                }
+            } else {
+                while (idx >= 0) {
+                    int64_t u = heads1[idx];
+                    if (u != -1) {
+                        if ((double)(dw + vwt[u]) <= hi) {
+                            v1 = u;
+                            k1 = idx - offset;
+                            break;
+                        }
+                        if (skip_part)
+                            break;
+                    }
+                    idx -= 1;
+                }
+            }
+
+            int64_t v;
+            if (v0 < 0) {
+                if (v1 < 0)
+                    break;
+                v = v1;
+            } else if (v1 < 0) {
+                v = v0;
+            } else {
+                if (k0 > k1)
+                    v = v0;
+                else if (k1 > k0)
+                    v = v1;
+                else if (bias_part0)
+                    v = v0;
+                else if (last_src < 0)
+                    v = v0;
+                else if (bias_away)
+                    v = last_src == 1 ? v0 : v1;
+                else /* TOWARD */
+                    v = last_src == 0 ? v0 : v1;
+            }
+
+            int64_t src = assign[v];
+
+            /* Unlink the chosen vertex from its bucket. */
+            if (src == 0) {
+                idx = key0[v] + offset;
+                int64_t p = prev0[v];
+                int64_t nn = next0[v];
+                if (p != -1)
+                    next0[p] = nn;
+                else
+                    heads0[idx] = nn;
+                if (nn != -1)
+                    prev0[nn] = p;
+                else
+                    tails0[idx] = p;
+                pres0[v] = 0;
+            } else {
+                idx = key1[v] + offset;
+                int64_t p = prev1[v];
+                int64_t nn = next1[v];
+                if (p != -1)
+                    next1[p] = nn;
+                else
+                    heads1[idx] = nn;
+                if (nn != -1)
+                    prev1[nn] = p;
+                else
+                    tails1[idx] = p;
+                pres1[v] = 0;
+            }
+            last_src = src;
+
+            /* ----- fused neighbour update + ledger update --------- */
+            for (int64_t i = vtx_ptr[v]; i < vtx_ptr[v + 1]; i++) {
+                int64_t e = vtx_nets[i];
+                int64_t f, t;
+                if (src == 0) {
+                    f = pins0[e];
+                    t = pins1[e];
+                } else {
+                    f = pins1[e];
+                    t = pins0[e];
+                }
+                if (update_all == 0 && f > 2 && t > 1) {
+                    n_net_skips += 1;
+                    if (src == 0) {
+                        pins0[e] = f - 1;
+                        pins1[e] = t + 1;
+                    } else {
+                        pins1[e] = f - 1;
+                        pins0[e] = t + 1;
+                    }
+                    continue;
+                }
+                int64_t w = net_w[e];
+                for (int64_t j = net_ptr[e]; j < net_ptr[e + 1]; j++) {
+                    int64_t y = net_pins[j];
+                    if (y == v)
+                        continue;
+                    int same_side = assign[y] == src;
+                    int64_t delta;
+                    if (same_side) {
+                        if (src == 0) {
+                            if (pres0[y] == 0)
+                                continue;
+                        } else {
+                            if (pres1[y] == 0)
+                                continue;
+                        }
+                        if (f == 2)
+                            delta = w;
+                        else if (f == 1)
+                            delta = -w;
+                        else
+                            delta = 0;
+                        if (t == 0)
+                            delta += w;
+                    } else {
+                        if (src == 0) {
+                            if (pres1[y] == 0)
+                                continue;
+                        } else {
+                            if (pres0[y] == 0)
+                                continue;
+                        }
+                        if (t == 0)
+                            delta = w;
+                        else if (t == 1)
+                            delta = -w;
+                        else
+                            delta = 0;
+                        if (f == 1)
+                            delta -= w;
+                    }
+                    if (delta != 0 || update_all != 0) {
+                        n_updates += 1;
+                        /* Same side as the moved vertex -> source
+                         * structures; other side -> destination. */
+                        int on0 = (src == 0) == same_side;
+                        int64_t ky = on0 ? key0[y] : key1[y];
+                        int64_t nk = ky + delta;
+                        int64_t nidx = nk + offset;
+                        if (nidx < 0 || nidx >= span) {
+                            error = 1;
+                            break;
+                        }
+                        int64_t oidx = ky + offset;
+                        if (on0) {
+                            int64_t p = prev0[y];
+                            int64_t nn = next0[y];
+                            if (p != -1)
+                                next0[p] = nn;
+                            else
+                                heads0[oidx] = nn;
+                            if (nn != -1)
+                                prev0[nn] = p;
+                            else
+                                tails0[oidx] = p;
+                        } else {
+                            int64_t p = prev1[y];
+                            int64_t nn = next1[y];
+                            if (p != -1)
+                                next1[p] = nn;
+                            else
+                                heads1[oidx] = nn;
+                            if (nn != -1)
+                                prev1[nn] = p;
+                            else
+                                tails1[oidx] = p;
+                        }
+                        int at_head;
+                        if (rnd_order)
+                            at_head = mt_random(mt, &mti) < 0.5;
+                        else
+                            at_head = head_order;
+                        if (on0) {
+                            int64_t old = heads0[nidx];
+                            if (old == -1) {
+                                heads0[nidx] = y;
+                                tails0[nidx] = y;
+                                prev0[y] = -1;
+                                next0[y] = -1;
+                            } else if (at_head) {
+                                next0[y] = old;
+                                prev0[y] = -1;
+                                prev0[old] = y;
+                                heads0[nidx] = y;
+                            } else {
+                                int64_t tl = tails0[nidx];
+                                prev0[y] = tl;
+                                next0[y] = -1;
+                                next0[tl] = y;
+                                tails0[nidx] = y;
+                            }
+                            key0[y] = nk;
+                            if (nidx > maxi0)
+                                maxi0 = nidx;
+                        } else {
+                            int64_t old = heads1[nidx];
+                            if (old == -1) {
+                                heads1[nidx] = y;
+                                tails1[nidx] = y;
+                                prev1[y] = -1;
+                                next1[y] = -1;
+                            } else if (at_head) {
+                                next1[y] = old;
+                                prev1[y] = -1;
+                                prev1[old] = y;
+                                heads1[nidx] = y;
+                            } else {
+                                int64_t tl = tails1[nidx];
+                                prev1[y] = tl;
+                                next1[y] = -1;
+                                next1[tl] = y;
+                                tails1[nidx] = y;
+                            }
+                            key1[y] = nk;
+                            if (nidx > maxi1)
+                                maxi1 = nidx;
+                        }
+                    } else {
+                        n_zero_skips += 1;
+                    }
+                }
+                if (error != 0)
+                    break;
+                /* Apply the move to this net's pin counts and cut. */
+                if (src == 0) {
+                    pins0[e] = f - 1;
+                    pins1[e] = t + 1;
+                } else {
+                    pins1[e] = f - 1;
+                    pins0[e] = t + 1;
+                }
+                if (t == 0) {
+                    if (f >= 2)
+                        cut += w;
+                } else if (f == 1) {
+                    cut -= w;
+                }
+            }
+            if (error != 0)
+                break;
+
+            int64_t wv = vwt[v];
+            if (src == 0) {
+                assign[v] = 1;
+                pw[0] -= wv;
+                pw[1] += wv;
+            } else {
+                assign[v] = 0;
+                pw[1] -= wv;
+                pw[0] += wv;
+            }
+            move_log[mcount] = v;
+            cut_log[mcount] = cut;
+            double pw0 = (double)pw[0];
+            double pw1 = (double)pw[1];
+            double d = pw0 - lo;
+            double d2 = hi - pw0;
+            if (d2 < d)
+                d = d2;
+            d2 = pw1 - lo;
+            if (d2 < d)
+                d = d2;
+            d2 = hi - pw1;
+            if (d2 < d)
+                d = d2;
+            dist_log[mcount] = d;
+            mcount += 1;
+        }
+
+        if (error != 0)
+            goto finish_error;
+
+        /* ----- choose the best prefix (FMEngine._best_prefix) ----- */
+        int have = initial_legal != 0;
+        int64_t best_cut = cut_before;
+        for (int64_t k = 0; k < mcount; k++) {
+            if (dist_log[k] >= 0.0) {
+                int64_t c = cut_log[k];
+                if (!have || c < best_cut) {
+                    best_cut = c;
+                    have = 1;
+                }
+            }
+        }
+        int64_t best_k;
+        if (!have) {
+            best_k = 0;
+            double best_d = initial_distance;
+            for (int64_t k = 0; k < mcount; k++) {
+                if (dist_log[k] > best_d) {
+                    best_d = dist_log[k];
+                    best_k = k + 1;
+                }
+            }
+        } else if (best_choice == 0) { /* FIRST */
+            best_k = 0;
+            if (!(initial_legal != 0 && cut_before == best_cut)) {
+                for (int64_t k = 0; k < mcount; k++) {
+                    if (dist_log[k] >= 0.0 && cut_log[k] == best_cut) {
+                        best_k = k + 1;
+                        break;
+                    }
+                }
+            }
+        } else if (best_choice == 1) { /* LAST */
+            best_k = 0;
+            for (int64_t k = mcount - 1; k >= 0; k--) {
+                if (dist_log[k] >= 0.0 && cut_log[k] == best_cut) {
+                    best_k = k + 1;
+                    break;
+                }
+            }
+        } else { /* BALANCE */
+            best_k = -1;
+            double best_d = -INFINITY;
+            if (initial_legal != 0 && cut_before == best_cut) {
+                best_k = 0;
+                best_d = initial_distance;
+            }
+            for (int64_t k = 0; k < mcount; k++) {
+                if (dist_log[k] >= 0.0 && cut_log[k] == best_cut) {
+                    if (dist_log[k] > best_d) {
+                        best_d = dist_log[k];
+                        best_k = k + 1;
+                    }
+                }
+            }
+        }
+
+        /* ----- rollback: restore snapshot, replay the prefix ------ */
+        if (best_k < mcount) {
+            memcpy(assign, snap_assign, sizeof(int64_t) * (size_t)n);
+            memcpy(pins0, snap_pins0, sizeof(int64_t) * (size_t)m);
+            memcpy(pins1, snap_pins1, sizeof(int64_t) * (size_t)m);
+            pw[0] = snap_pw0;
+            pw[1] = snap_pw1;
+            cut = cut_before;
+            for (int64_t i = 0; i < best_k; i++) {
+                int64_t v = move_log[i];
+                int64_t src = assign[v];
+                for (int64_t ii = vtx_ptr[v]; ii < vtx_ptr[v + 1]; ii++) {
+                    int64_t e = vtx_nets[ii];
+                    int64_t f, t;
+                    if (src == 0) {
+                        f = pins0[e];
+                        t = pins1[e];
+                        pins0[e] = f - 1;
+                        pins1[e] = t + 1;
+                    } else {
+                        f = pins1[e];
+                        t = pins0[e];
+                        pins1[e] = f - 1;
+                        pins0[e] = t + 1;
+                    }
+                    if (t == 0) {
+                        if (f >= 2)
+                            cut += net_w[e];
+                    } else if (f == 1) {
+                        cut -= net_w[e];
+                    }
+                }
+                int64_t wv = vwt[v];
+                if (src == 0) {
+                    assign[v] = 1;
+                    pw[0] -= wv;
+                    pw[1] += wv;
+                } else {
+                    assign[v] = 0;
+                    pw[1] -= wv;
+                    pw[0] += wv;
+                }
+            }
+        }
+
+        cut_io[0] = cut;
+        mti_io[0] = mti;
+        out[0] = mcount;
+        out[1] = best_k;
+        out[2] = ecount;
+        out[3] = n_selects;
+        out[4] = n_updates;
+        out[5] = n_zero_skips;
+        out[6] = n_net_skips;
+        out[7] = 0;
+        goto cleanup;
+    }
+
+finish_error:
+    out[7] = 1;
+    mti_io[0] = mti;
+    memcpy(assign, snap_assign, sizeof(int64_t) * (size_t)n);
+    memcpy(pins0, snap_pins0, sizeof(int64_t) * (size_t)m);
+    memcpy(pins1, snap_pins1, sizeof(int64_t) * (size_t)m);
+    pw[0] = snap_pw0;
+    pw[1] = snap_pw1;
+    cut_io[0] = cut_before;
+
+cleanup:
+    free(snap_assign);
+    free(snap_pins0);
+    free(snap_pins1);
+    free(heads0);
+    free(tails0);
+    free(heads1);
+    free(tails1);
+    free(prev0);
+    free(next0);
+    free(prev1);
+    free(next1);
+    free(key0);
+    free(key1);
+    free(pres0);
+    free(pres1);
+    free(gain);
+    free(elig);
+    free(cut_log);
+    free(dist_log);
+}
+
+/* ------------------------------------------------------------------ */
+/* Matching / clustering kernels                                       */
+/* ------------------------------------------------------------------ */
+void
+net_scores(const int64_t *net_ptr, const double *net_w,
+           int64_t max_net_size, double *score, int64_t m)
+{
+    for (int64_t e = 0; e < m; e++) {
+        int64_t size = net_ptr[e + 1] - net_ptr[e];
+        if (size < 2 || size > max_net_size)
+            score[e] = -1.0;
+        else
+            score[e] = net_w[e] / (double)(size - 1);
+    }
+}
+
+void
+hem_match(const int64_t *net_ptr, const int64_t *net_pins,
+          const int64_t *vtx_ptr, const int64_t *vtx_nets,
+          const double *vwt, const double *score, const int64_t *order,
+          const int64_t *fixed, int64_t use_fixed,
+          int64_t use_assignment, const int64_t *assignment,
+          double max_cluster_weight, int64_t *cluster, int64_t *out,
+          int64_t n)
+{
+    double *conn = calloc((size_t)n, sizeof(double));
+    int64_t *stamp = calloc((size_t)n, sizeof(int64_t));
+    int64_t *nbrs = calloc((size_t)n, sizeof(int64_t));
+    int64_t epoch = 0;
+    int64_t next_id = 0;
+    int64_t touched = 0;
+    for (int64_t oi = 0; oi < n; oi++) {
+        int64_t v = order[oi];
+        if (cluster[v] != -1)
+            continue;
+        epoch += 1;
+        int64_t ncount = 0;
+        for (int64_t i = vtx_ptr[v]; i < vtx_ptr[v + 1]; i++) {
+            int64_t e = vtx_nets[i];
+            double w = score[e];
+            if (w < 0.0)
+                continue;
+            int64_t nlo = net_ptr[e];
+            int64_t nhi = net_ptr[e + 1];
+            touched += nhi - nlo - 1;
+            for (int64_t j = nlo; j < nhi; j++) {
+                int64_t u = net_pins[j];
+                if (u == v)
+                    continue;
+                if (stamp[u] == epoch) {
+                    conn[u] += w;
+                } else {
+                    stamp[u] = epoch;
+                    conn[u] = w;
+                    nbrs[ncount] = u;
+                    ncount += 1;
+                }
+            }
+        }
+        int64_t best_u = -1;
+        double best_c = 0.0;
+        double wv = vwt[v];
+        for (int64_t t = 0; t < ncount; t++) {
+            int64_t u = nbrs[t];
+            if (cluster[u] != -1)
+                continue;
+            if (use_assignment != 0 && assignment[u] != assignment[v])
+                continue;
+            if (wv + vwt[u] > max_cluster_weight)
+                continue;
+            if (use_fixed != 0) {
+                int64_t fv = fixed[v];
+                int64_t fu = fixed[u];
+                if (fv != -1 && fu != -1 && fv != fu)
+                    continue;
+            }
+            double c = conn[u];
+            if (c > best_c) {
+                best_c = c;
+                best_u = u;
+            }
+        }
+        cluster[v] = next_id;
+        if (best_u != -1)
+            cluster[best_u] = next_id;
+        next_id += 1;
+    }
+    out[0] = next_id;
+    out[1] = touched;
+    free(conn);
+    free(stamp);
+    free(nbrs);
+}
+
+void
+fc_cluster(const int64_t *net_ptr, const int64_t *net_pins,
+           const int64_t *vtx_ptr, const int64_t *vtx_nets,
+           const double *vwt, const double *score, const int64_t *order,
+           const int64_t *fixed, int64_t use_fixed,
+           double max_cluster_weight, int64_t *cluster, int64_t *out,
+           int64_t n)
+{
+    double *conn = calloc((size_t)n, sizeof(double));
+    int64_t *stamp = calloc((size_t)n, sizeof(int64_t));
+    int64_t *nbrs = calloc((size_t)n, sizeof(int64_t));
+    double *cluster_weight = calloc((size_t)n, sizeof(double));
+    int64_t *cluster_fixed = malloc(sizeof(int64_t) * (size_t)n);
+    for (int64_t i = 0; i < n; i++)
+        cluster_fixed[i] = -1;
+    int64_t epoch = 0;
+    int64_t num_clusters = 0;
+    int64_t touched = 0;
+    for (int64_t oi = 0; oi < n; oi++) {
+        int64_t v = order[oi];
+        if (cluster[v] != -1)
+            continue;
+        epoch += 1;
+        int64_t ncount = 0;
+        for (int64_t i = vtx_ptr[v]; i < vtx_ptr[v + 1]; i++) {
+            int64_t e = vtx_nets[i];
+            double w = score[e];
+            if (w < 0.0)
+                continue;
+            int64_t nlo = net_ptr[e];
+            int64_t nhi = net_ptr[e + 1];
+            touched += nhi - nlo - 1;
+            for (int64_t j = nlo; j < nhi; j++) {
+                int64_t u = net_pins[j];
+                if (u == v)
+                    continue;
+                if (stamp[u] == epoch) {
+                    conn[u] += w;
+                } else {
+                    stamp[u] = epoch;
+                    conn[u] = w;
+                    nbrs[ncount] = u;
+                    ncount += 1;
+                }
+            }
+        }
+        double wv = vwt[v];
+        int64_t fv = use_fixed != 0 ? fixed[v] : -1;
+        int64_t best_cluster = -1;
+        double best_c = 0.0;
+        for (int64_t t = 0; t < ncount; t++) {
+            int64_t u = nbrs[t];
+            int64_t cu = cluster[u];
+            if (cu == -1)
+                continue;
+            if (cluster_weight[cu] + wv > max_cluster_weight)
+                continue;
+            int64_t cf = cluster_fixed[cu];
+            if (fv != -1 && cf != -1 && fv != cf)
+                continue;
+            double c = conn[u];
+            if (c > best_c) {
+                best_c = c;
+                best_cluster = cu;
+            }
+        }
+        if (best_cluster == -1) {
+            cluster[v] = num_clusters;
+            cluster_weight[num_clusters] = wv;
+            cluster_fixed[num_clusters] = fv;
+            num_clusters += 1;
+        } else {
+            cluster[v] = best_cluster;
+            cluster_weight[best_cluster] += wv;
+            if (fv != -1)
+                cluster_fixed[best_cluster] = fv;
+        }
+    }
+    out[0] = num_clusters;
+    out[1] = touched;
+    free(conn);
+    free(stamp);
+    free(nbrs);
+    free(cluster_weight);
+    free(cluster_fixed);
+}
+
+void
+hec_contract(const int64_t *net_ptr, const int64_t *net_pins,
+             const double *vwt, const int64_t *order,
+             const int64_t *fixed, int64_t use_fixed,
+             double max_cluster_weight, int64_t max_net_size,
+             int64_t *cluster, int64_t *out,
+             int64_t n, int64_t num_nets)
+{
+    int64_t next_id = 0;
+    int64_t touched = 0;
+    for (int64_t oi = 0; oi < num_nets; oi++) {
+        int64_t e = order[oi];
+        int64_t nlo = net_ptr[e];
+        int64_t nhi = net_ptr[e + 1];
+        int64_t size = nhi - nlo;
+        if (size < 2 || size > max_net_size)
+            continue;
+        touched += size;
+        int free_net = 1;
+        for (int64_t i = nlo; i < nhi; i++) {
+            if (cluster[net_pins[i]] != -1) {
+                free_net = 0;
+                break;
+            }
+        }
+        if (!free_net)
+            continue;
+        double total = 0.0;
+        for (int64_t i = nlo; i < nhi; i++)
+            total += vwt[net_pins[i]];
+        if (total > max_cluster_weight)
+            continue;
+        if (use_fixed != 0) {
+            int64_t side = -1;
+            int conflict = 0;
+            for (int64_t i = nlo; i < nhi; i++) {
+                int64_t fp = fixed[net_pins[i]];
+                if (fp != -1) {
+                    if (side == -1) {
+                        side = fp;
+                    } else if (side != fp) {
+                        conflict = 1;
+                        break;
+                    }
+                }
+            }
+            if (conflict)
+                continue;
+        }
+        for (int64_t i = nlo; i < nhi; i++)
+            cluster[net_pins[i]] = next_id;
+        next_id += 1;
+    }
+    for (int64_t v = 0; v < n; v++) {
+        if (cluster[v] == -1) {
+            cluster[v] = next_id;
+            next_id += 1;
+        }
+    }
+    out[0] = next_id;
+    out[1] = touched;
+}
+
+/* ------------------------------------------------------------------ */
+/* Contraction (coarsen) kernel                                        */
+/* ------------------------------------------------------------------ */
+void
+contract(const int64_t *net_ptr, const int64_t *net_pins,
+         const int64_t *cluster_of, const double *vwt,
+         const double *net_w, int64_t *mapped, double *weights,
+         int64_t *coarse_net_ptr, int64_t *coarse_pins,
+         double *coarse_net_w, int64_t *out,
+         int64_t n, int64_t m, int64_t total_pins)
+{
+    /* ----- dense renumbering in first-encounter order ------------- */
+    int64_t max_id = -1;
+    for (int64_t v = 0; v < n; v++) {
+        int64_t c = cluster_of[v];
+        if (c < 0) {
+            out[5] = 1;
+            out[0] = v; /* offending vertex for the caller's message */
+            return;
+        }
+        if (c > max_id)
+            max_id = c;
+    }
+    int64_t *remap = calloc((size_t)(max_id + 2), sizeof(int64_t));
+    uint8_t *seen = calloc((size_t)(max_id + 2), sizeof(uint8_t));
+    int64_t num_coarse = 0;
+    for (int64_t v = 0; v < n; v++) {
+        int64_t c = cluster_of[v];
+        if (seen[c] != 0) {
+            mapped[v] = remap[c];
+        } else {
+            seen[c] = 1;
+            remap[c] = num_coarse;
+            mapped[v] = num_coarse;
+            num_coarse += 1;
+        }
+    }
+    for (int64_t c = 0; c < num_coarse; c++)
+        weights[c] = 0.0;
+    for (int64_t v = 0; v < n; v++)
+        weights[mapped[v]] += vwt[v];
+
+    /* ----- project nets, dedup pins ------------------------------- */
+    int64_t *stamp = calloc((size_t)(num_coarse + 1), sizeof(int64_t));
+    int64_t *buf = calloc((size_t)(num_coarse + 1), sizeof(int64_t));
+    int64_t *proj_pins = calloc((size_t)(total_pins > 0 ? total_pins : 1),
+                                sizeof(int64_t));
+    int64_t *proj_ptr = calloc((size_t)(m + 1), sizeof(int64_t));
+    int64_t *proj_orig = calloc((size_t)(m > 0 ? m : 1), sizeof(int64_t));
+    int64_t kept = 0;
+    int64_t ppos = 0;
+    int64_t dropped = 0;
+    int64_t epoch = 0;
+    for (int64_t e = 0; e < m; e++) {
+        epoch += 1;
+        int64_t cnt = 0;
+        for (int64_t i = net_ptr[e]; i < net_ptr[e + 1]; i++) {
+            int64_t c = mapped[net_pins[i]];
+            if (stamp[c] != epoch) {
+                stamp[c] = epoch;
+                buf[cnt] = c;
+                cnt += 1;
+            }
+        }
+        if (cnt < 2) {
+            dropped += 1;
+            continue;
+        }
+        /* Insertion sort of the (typically short) deduped pin run. */
+        for (int64_t a = 1; a < cnt; a++) {
+            int64_t x = buf[a];
+            int64_t b = a - 1;
+            while (b >= 0 && buf[b] > x) {
+                buf[b + 1] = buf[b];
+                b -= 1;
+            }
+            buf[b + 1] = x;
+        }
+        proj_ptr[kept] = ppos;
+        for (int64_t a = 0; a < cnt; a++) {
+            proj_pins[ppos] = buf[a];
+            ppos += 1;
+        }
+        proj_orig[kept] = e;
+        kept += 1;
+    }
+    proj_ptr[kept] = ppos;
+
+    /* ----- group identical projected nets -------------------------- */
+    /* FNV-1a folded to 63 bits after every step: the same masked
+     * values the Python/numba reference computes.  (Hash values need
+     * not match other backends — only group membership matters — but
+     * matching keeps the implementations diffable.) */
+    int64_t table_size = 1;
+    while (table_size < 2 * (kept + 1))
+        table_size *= 2;
+    int64_t *table = malloc(sizeof(int64_t) * (size_t)table_size);
+    for (int64_t i = 0; i < table_size; i++)
+        table[i] = -1;
+    int64_t *group_of = calloc((size_t)(kept + 1), sizeof(int64_t));
+    int64_t *group_head = calloc((size_t)(kept + 1), sizeof(int64_t));
+    int64_t num_groups = 0;
+    int64_t merged = 0;
+    int64_t mask = table_size - 1;
+    for (int64_t k = 0; k < kept; k++) {
+        int64_t klo = proj_ptr[k];
+        int64_t khi = proj_ptr[k + 1];
+        uint64_t h = 1469598103934665603ULL;
+        for (int64_t i = klo; i < khi; i++) {
+            h = ((h ^ (uint64_t)proj_pins[i]) * 1099511628211ULL)
+                & 0x7FFFFFFFFFFFFFFFULL;
+        }
+        int64_t slot = (int64_t)h & mask;
+        int64_t g = -1;
+        for (;;) {
+            int64_t occ = table[slot];
+            if (occ == -1)
+                break;
+            int64_t ho = group_head[occ];
+            int64_t olo = proj_ptr[ho];
+            int64_t ohi = proj_ptr[ho + 1];
+            if (ohi - olo == khi - klo) {
+                int same = 1;
+                for (int64_t i = 0; i < khi - klo; i++) {
+                    if (proj_pins[olo + i] != proj_pins[klo + i]) {
+                        same = 0;
+                        break;
+                    }
+                }
+                if (same) {
+                    g = occ;
+                    break;
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+        if (g == -1) {
+            g = num_groups;
+            group_head[g] = k;
+            table[slot] = g;
+            num_groups += 1;
+        } else {
+            merged += 1;
+        }
+        group_of[k] = g;
+    }
+
+    /* ----- emit the coarse CSR ------------------------------------- */
+    int64_t cpos = 0;
+    coarse_net_ptr[0] = 0;
+    for (int64_t g = 0; g < num_groups; g++) {
+        int64_t hk = group_head[g];
+        for (int64_t i = proj_ptr[hk]; i < proj_ptr[hk + 1]; i++) {
+            coarse_pins[cpos] = proj_pins[i];
+            cpos += 1;
+        }
+        coarse_net_ptr[g + 1] = cpos;
+        coarse_net_w[g] = net_w[proj_orig[hk]];
+    }
+    for (int64_t k = 0; k < kept; k++) {
+        int64_t g = group_of[k];
+        if (group_head[g] != k)
+            coarse_net_w[g] += net_w[proj_orig[k]];
+    }
+
+    out[0] = num_coarse;
+    out[1] = num_groups;
+    out[2] = cpos;
+    out[3] = merged;
+    out[4] = dropped;
+    out[5] = 0;
+
+    free(remap);
+    free(seen);
+    free(stamp);
+    free(buf);
+    free(proj_pins);
+    free(proj_ptr);
+    free(proj_orig);
+    free(table);
+    free(group_of);
+    free(group_head);
+}
+
+/* ------------------------------------------------------------------ */
+/* Bootstrap kernels                                                   */
+/* ------------------------------------------------------------------ */
+void
+shuffle_rows(int64_t *mt, int64_t *mti_io, int64_t *order, int64_t *perm,
+             int64_t rows, int64_t n)
+{
+    int64_t mti = mti_io[0];
+    for (int64_t s = 0; s < rows; s++) {
+        for (int64_t i = n - 1; i > 0; i--) {
+            uint32_t bound = (uint32_t)(i + 1);
+            int k = 0;
+            uint32_t bb = bound;
+            while (bb > 0) {
+                k += 1;
+                bb >>= 1;
+            }
+            uint32_t r;
+            do {
+                r = mt_next(mt, &mti) >> (32 - k);
+            } while (r >= bound);
+            int64_t tmp = order[i];
+            order[i] = order[r];
+            order[r] = tmp;
+        }
+        for (int64_t i = 0; i < n; i++)
+            perm[s * n + i] = order[i];
+    }
+    mti_io[0] = mti;
+}
+
+void
+bootstrap_tables(const int64_t *perm, const double *runtimes,
+                 const double *cuts, double *elapsed, double *cuts_out,
+                 double *prefix_min, int64_t rows, int64_t n)
+{
+    for (int64_t s = 0; s < rows; s++) {
+        double acc = 0.0;
+        double best = INFINITY;
+        for (int64_t i = 0; i < n; i++) {
+            int64_t p = perm[s * n + i];
+            acc += runtimes[p];
+            elapsed[s * n + i] = acc;
+            double c = cuts[p];
+            cuts_out[s * n + i] = c;
+            if (c < best)
+                best = c;
+            prefix_min[s * n + i] = best;
+        }
+    }
+}

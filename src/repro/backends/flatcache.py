@@ -1,0 +1,63 @@
+"""Per-hypergraph flat-array cache for the backend kernels.
+
+The matching/contraction kernels consume int64 CSR arrays plus float64
+weight arrays.  Building them from the hypergraph's Python lists is
+O(pins) — the same order as one matching sweep — so the conversion is
+done once per hypergraph and reused across calls, levels, pooled
+multistart hierarchies and V-cycles.  Entries are keyed on hypergraph
+identity and validated against
+:meth:`~repro.hypergraph.hypergraph.Hypergraph.weight_fingerprint`, the
+same staleness contract the FM engine's scratch cache uses; entries hold
+a strong hypergraph reference so an ``id()`` can never be reused while
+its entry lives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+#: Entries kept before the cache resets (same sizing rationale as
+#: ``FMEngine._SCRATCH_CACHE_LIMIT``: a multilevel hierarchy is ~15
+#: levels and pools serve a few hierarchies at once).
+_CACHE_LIMIT = 128
+
+_cache: Dict[int, Tuple[object, object, tuple]] = {}
+
+
+def flat_csr(hg) -> tuple:
+    """``(net_ptr, net_pins, vtx_ptr, vtx_nets, vwt, net_w)`` for ``hg``.
+
+    CSR arrays are int64; ``vwt``/``net_w`` are float64 (exact copies of
+    the hypergraph's Python floats — kernels that need integers cast at
+    their own gate).
+    """
+    key = id(hg)
+    fp = hg.weight_fingerprint()
+    entry = _cache.get(key)
+    if entry is not None and entry[0] is hg and entry[1] == fp:
+        return entry[2]
+    net_ptr, net_pins, vtx_ptr, vtx_nets = hg.raw_csr
+    arrays = (
+        np.array(net_ptr, dtype=np.int64),
+        np.array(net_pins, dtype=np.int64),
+        np.array(vtx_ptr, dtype=np.int64),
+        np.array(vtx_nets, dtype=np.int64),
+        np.array(hg._vertex_weights, dtype=np.float64),
+        np.array(hg._net_weights, dtype=np.float64),
+    )
+    if len(_cache) >= _CACHE_LIMIT:
+        _cache.clear()
+    _cache[key] = (hg, fp, arrays)
+    return arrays
+
+
+def encode_fixed(fixed_parts, n: int) -> np.ndarray:
+    """Encode a ``List[Optional[int]]`` fixed-side map as int64 with -1
+    for unconstrained vertices."""
+    out = np.empty(n, dtype=np.int64)
+    for v in range(n):
+        fp = fixed_parts[v]
+        out[v] = -1 if fp is None else fp
+    return out

@@ -1,0 +1,38 @@
+"""numba backend: ``numba.njit`` of the flatref reference kernels.
+
+The JIT compiles the *exact* function objects from
+:mod:`repro.backends.flatref` (which is written in njittable style: no
+Python containers, no helper calls, inlined Mersenne Twister), so the
+compiled kernels cannot drift from the audited reference.  ``fastmath``
+stays off — float rounding must match CPython/numpy exactly for the
+registry self-check to pass — and ``cache=True`` persists the compiled
+artifacts so warm-up is paid once per machine, not once per process.
+
+Importing this module raises when numba is not installed; the registry
+records the reason and falls back (see
+:mod:`repro.backends.registry`).  Compilation itself happens on first
+call per signature — the registry's activation self-check exercises
+every kernel, so by the time a backend is selectable it is fully
+compiled, and the elapsed time is charged to
+``PerfCounters.compile_seconds``.
+"""
+
+from __future__ import annotations
+
+from numba import njit  # noqa: F401 - ImportError is the gate
+
+from repro.backends import flatref as _ref
+
+
+def _jit(fn):
+    return njit(cache=True, fastmath=False)(fn)
+
+
+fm_pass = _jit(_ref.fm_pass)
+net_scores = _jit(_ref.net_scores)
+hem_match = _jit(_ref.hem_match)
+fc_cluster = _jit(_ref.fc_cluster)
+hec_contract = _jit(_ref.hec_contract)
+contract = _jit(_ref.contract)
+shuffle_rows = _jit(_ref.shuffle_rows)
+bootstrap_tables = _jit(_ref.bootstrap_tables)

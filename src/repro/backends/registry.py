@@ -1,0 +1,300 @@
+"""Backend registry: named compiled-kernel sets behind the frozen oracles.
+
+The registry maps backend names to :class:`KernelSet` objects providing
+the three hottest loops (fused FM pass, matching/contraction, bootstrap
+shuffle/cumsum/prefix-min) as flat-array kernels.  Registered backends:
+
+* ``numpy`` — the always-available default: *no* kernel set; callers run
+  the existing interpreted numpy/Python paths unchanged.
+* ``flatref`` — the pure-Python flat-array reference
+  (:mod:`repro.backends.flatref`).  Semantically it *is* the compiled
+  kernel (the numba backend JITs these exact functions; the cnative
+  backend mirrors them in C), executed by the interpreter.  Slower than
+  ``numpy``'s tuned paths, but always available — the equivalence and
+  fuzz suites sweep it so the compiled semantics stay testable on a
+  numpy-only install.
+* ``numba`` — ``numba.njit`` of the flatref functions.  Unavailable
+  (with a recorded reason) when numba is not installed.
+* ``cnative`` — the C translation (:mod:`repro.backends.cnative`),
+  compiled once per source hash with the system C compiler and loaded
+  via ctypes.  Unavailable when no working compiler is found.
+* ``cython`` — reserved name for a future Cython build; currently
+  always unavailable with a recorded reason (kept registered so
+  ``--backend cython`` fails loudly with the reason instead of a typo
+  error, and so the extras name is stable).
+
+**Activation contract.**  A backend activates lazily on first request:
+import/compile, then a mandatory self-check
+(:func:`repro.backends.selfcheck.run_selfcheck`) against the flatref
+reference on deterministic micro-instances.  The reference itself is
+pinned to the interpreted numpy engine by the oracle-equivalence suites,
+so the chain ``numpy engine == flatref == compiled backend`` makes a
+compiled kernel selectable only if bit-identical.  Any import, compile
+or self-check failure marks the backend unavailable with the reason
+recorded in :class:`BackendInfo.reason` — resolution then falls back to
+``numpy`` rather than raising, so a numpy-only install runs everything.
+
+**Resolution order** (:func:`resolve_backend`): explicit argument >
+process default (:func:`set_default_backend`, which workers re-apply
+from the spawn payload) > ``REPRO_BACKEND`` environment variable >
+``numpy``.  The name ``auto`` picks the best available *compiled*
+backend (``numba`` > ``cnative``), falling back to ``numpy``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: Registered backend names, in documentation order.
+BACKEND_NAMES: Tuple[str, ...] = (
+    "numpy",
+    "flatref",
+    "numba",
+    "cnative",
+    "cython",
+)
+
+#: Preference order for ``auto``: compiled backends first.
+_AUTO_ORDER: Tuple[str, ...] = ("numba", "cnative")
+
+#: Environment variable consulted by :func:`resolve_backend`.
+ENV_VAR = "REPRO_BACKEND"
+
+
+class KernelSet:
+    """The flat-array kernels one backend provides.
+
+    All callables share the flatref signatures (see
+    :mod:`repro.backends.flatref`): they mutate caller-provided numpy
+    arrays and return ``None``.
+    """
+
+    __slots__ = (
+        "name",
+        "fm_pass",
+        "net_scores",
+        "hem_match",
+        "fc_cluster",
+        "hec_contract",
+        "contract",
+        "shuffle_rows",
+        "bootstrap_tables",
+    )
+
+    def __init__(self, name: str, mod) -> None:
+        self.name = name
+        self.fm_pass = mod.fm_pass
+        self.net_scores = mod.net_scores
+        self.hem_match = mod.hem_match
+        self.fc_cluster = mod.fc_cluster
+        self.hec_contract = mod.hec_contract
+        self.contract = mod.contract
+        self.shuffle_rows = mod.shuffle_rows
+        self.bootstrap_tables = mod.bootstrap_tables
+
+
+class BackendInfo:
+    """Activation state of one registered backend."""
+
+    __slots__ = ("name", "available", "reason", "kernels",
+                 "compile_seconds", "compiled")
+
+    def __init__(
+        self,
+        name: str,
+        available: bool,
+        reason: str = "",
+        kernels: Optional[KernelSet] = None,
+        compile_seconds: float = 0.0,
+        compiled: bool = False,
+    ) -> None:
+        self.name = name
+        self.available = available
+        self.reason = reason
+        self.kernels = kernels
+        self.compile_seconds = compile_seconds
+        self.compiled = compiled
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "available": self.available,
+            "reason": self.reason,
+            "compiled": self.compiled,
+            "compile_seconds": self.compile_seconds,
+        }
+
+
+#: Lazily-populated activation cache (name -> BackendInfo).
+_ACTIVATED: Dict[str, BackendInfo] = {}
+
+#: Process-wide default backend name (None = env var / numpy).
+_DEFAULT: Optional[str] = None
+
+#: Bumped whenever resolution inputs change (default set, cache reset).
+#: Long-lived engines cache their resolved kernel set keyed on this
+#: generation, so a later :func:`set_default_backend` — e.g. a reused
+#: heuristic object crossing execution contexts — is picked up instead
+#: of silently running on a stale resolution.
+_GENERATION = 0
+
+
+# ----------------------------------------------------------------------
+# Activation
+# ----------------------------------------------------------------------
+def _activate(name: str) -> BackendInfo:
+    """Build (import/compile + self-check) one backend; never raises."""
+    if name == "numpy":
+        return BackendInfo("numpy", True, reason="interpreted reference")
+    if name == "cython":
+        return BackendInfo(
+            "cython", False,
+            reason="cython backend not built in this distribution",
+        )
+    t0 = time.perf_counter()
+    try:
+        if name == "flatref":
+            from repro.backends import flatref as mod
+
+            ks = KernelSet("flatref", mod)
+            # The reference needs no self-check against itself; the
+            # oracle-equivalence suites pin it to the numpy engine.
+            return BackendInfo("flatref", True, kernels=ks,
+                               reason="pure-python reference kernels")
+        if name == "numba":
+            from repro.backends import numba_backend as mod
+
+            ks = KernelSet("numba", mod)
+        elif name == "cnative":
+            from repro.backends import cnative as mod
+
+            ks = KernelSet("cnative", mod)
+        else:
+            return BackendInfo(name, False,
+                               reason=f"unknown backend {name!r}")
+    except Exception as exc:  # noqa: BLE001 - fallback contract
+        return BackendInfo(
+            name, False,
+            reason=f"activation failed: {type(exc).__name__}: {exc}",
+        )
+    # Mandatory bit-identity self-check against the flatref reference.
+    try:
+        from repro.backends.selfcheck import run_selfcheck
+
+        run_selfcheck(ks)
+    except Exception as exc:  # noqa: BLE001 - fallback contract
+        return BackendInfo(
+            name, False,
+            reason=f"self-check failed: {type(exc).__name__}: {exc}",
+        )
+    dt = time.perf_counter() - t0
+    return BackendInfo(name, True, kernels=ks, compile_seconds=dt,
+                       compiled=True,
+                       reason="activated (self-check passed)")
+
+
+def get_backend(name: str) -> BackendInfo:
+    """Activation state of ``name`` (activating it on first request)."""
+    info = _ACTIVATED.get(name)
+    if info is None:
+        if name not in BACKEND_NAMES:
+            info = BackendInfo(name, False,
+                               reason=f"unknown backend {name!r}")
+        else:
+            info = _activate(name)
+        _ACTIVATED[name] = info
+    return info
+
+
+def backend_status() -> List[Dict[str, object]]:
+    """Activation state of every registered backend (activates all)."""
+    return [get_backend(name).as_dict() for name in BACKEND_NAMES]
+
+
+def reset(name: Optional[str] = None) -> None:
+    """Drop cached activation state (tests use this to re-probe)."""
+    global _GENERATION
+    if name is None:
+        _ACTIVATED.clear()
+    else:
+        _ACTIVATED.pop(name, None)
+    _GENERATION += 1
+
+
+# ----------------------------------------------------------------------
+# Resolution
+# ----------------------------------------------------------------------
+def set_default_backend(name: Optional[str]) -> None:
+    """Set the process-wide default backend (None restores env/numpy)."""
+    global _DEFAULT, _GENERATION
+    _DEFAULT = name
+    _GENERATION += 1
+
+
+def default_backend() -> Optional[str]:
+    return _DEFAULT
+
+
+def resolution_generation() -> int:
+    """Monotonic counter for caching resolved kernel sets: re-resolve
+    when this changes (default backend set, activation cache reset)."""
+    return _GENERATION
+
+
+def resolve_backend(explicit: Optional[str] = None) -> Tuple[str, str]:
+    """Resolve a backend request to an *available* backend.
+
+    Returns ``(name, note)`` where ``name`` is always available
+    (``numpy`` in the worst case) and ``note`` records why a fallback
+    happened (empty when the request was honored directly).
+    """
+    requested = explicit
+    if requested is None:
+        requested = _DEFAULT
+    if requested is None:
+        requested = os.environ.get(ENV_VAR) or None
+    if requested is None or requested == "numpy":
+        return "numpy", ""
+    if requested == "auto":
+        for name in _AUTO_ORDER:
+            if get_backend(name).available:
+                return name, ""
+        return "numpy", "auto: no compiled backend available"
+    info = get_backend(requested)
+    if info.available:
+        return requested, ""
+    return "numpy", f"{requested} unavailable ({info.reason})"
+
+
+def active_kernels(
+    explicit: Optional[str] = None,
+) -> Tuple[str, Optional[KernelSet], str]:
+    """Resolve and activate: ``(name, kernels_or_None, fallback_note)``.
+
+    ``kernels`` is ``None`` exactly when the resolved backend is
+    ``numpy`` — callers then run their interpreted paths unchanged.
+    """
+    name, note = resolve_backend(explicit)
+    if name == "numpy":
+        return name, None, note
+    return name, get_backend(name).kernels, note
+
+
+def warmup(explicit: Optional[str] = None) -> Tuple[str, float]:
+    """Force activation (JIT compile + self-check) of the resolved
+    backend; returns ``(name, compile_seconds)``.
+
+    Workers call this once at payload-attach time so compilation is
+    charged to ``PerfCounters.compile_seconds`` instead of leaking into
+    the first trial's runtime.  ``compile_seconds`` is nonzero only when
+    *this call* triggered the activation — a fork-inherited or earlier
+    activation was already paid (and charged) elsewhere, so repeated
+    warm-ups never double-bill the campaign.
+    """
+    already = set(_ACTIVATED)
+    name, _ = resolve_backend(explicit)
+    if name == "numpy" or name in already:
+        return name, 0.0
+    return name, get_backend(name).compile_seconds

@@ -85,6 +85,34 @@ BENCH_CONFIGS: Dict[str, FMConfig] = {
 }
 
 
+def backend_sweep(
+    backends: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """The backend names a bench sweeps: the explicit list, or every
+    *available* registered backend other than ``numpy`` (the interpreted
+    baseline each bench already times).  Requesting an unavailable
+    backend explicitly raises — a silent numpy fallback would time the
+    baseline twice and report a fake 1.0x column."""
+    from repro.backends import BACKEND_NAMES, get_backend
+
+    if backends is None:
+        return [
+            name
+            for name in BACKEND_NAMES
+            if name != "numpy" and get_backend(name).available
+        ]
+    names = list(backends)
+    for name in names:
+        if name == "numpy":
+            continue
+        info = get_backend(name)
+        if not info.available:
+            raise ValueError(
+                f"backend {name!r} unavailable ({info.reason})"
+            )
+    return names
+
+
 def _equivalent(a: FMResult, b: FMResult, pa: Partition2, pb: Partition2) -> bool:
     """Move-for-move equivalence of two recorded refinement runs."""
     if a.final_cut != b.final_cut or pa.assignment != pb.assignment:
@@ -111,6 +139,7 @@ def bench_fm_kernel(
     tolerance: float = 0.1,
     configs: Optional[Sequence[str]] = None,
     max_passes: int = 4,
+    backends: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """Run the kernel-vs-seed microbenchmark and return the result dict.
 
@@ -132,6 +161,14 @@ def bench_fm_kernel(
     max_passes:
         Pass cap per refinement (both engines; keeps runs comparable
         even if convergence needs many passes).
+    backends:
+        Registry backends to time alongside the interpreted engine
+        (default: every available one, :func:`backend_sweep`).  Each
+        gets an extra per-config column: its timed refinement plus a
+        recorded move-for-move comparison against the numpy engine's
+        run, so a backend column is only reported fast *and* faithful.
+        The interpreted rows pin ``backend="numpy"`` explicitly, so the
+        baseline stays the baseline even under ``REPRO_BACKEND``.
     """
     names = list(configs) if configs else list(BENCH_CONFIGS)
     for name in names:
@@ -142,10 +179,17 @@ def bench_fm_kernel(
             )
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    sweep = backend_sweep(backends)
 
     hg = suite_instance(instance, scale=scale)
     bal = BalanceConstraint(hg.total_vertex_weight, tolerance)
     base = Partition2.random_balanced(hg, bal, random.Random(seed))
+
+    # Charge backend activation (compile + self-check) before timing.
+    from repro.backends import warmup
+
+    for bname in sweep:
+        warmup(bname)
 
     out_configs: Dict[str, Dict[str, object]] = {}
     speedups: List[float] = []
@@ -160,7 +204,7 @@ def bench_fm_kernel(
             bal, cfg, random.Random(1), record_moves=True
         ).refine(p_seed)
         r_new = FMEngine(
-            bal, cfg, random.Random(1), record_moves=True
+            bal, cfg, random.Random(1), record_moves=True, backend="numpy"
         ).refine(p_new)
         equivalent = _equivalent(r_seed, r_new, p_seed, p_new)
         all_equivalent = all_equivalent and equivalent
@@ -176,7 +220,7 @@ def bench_fm_kernel(
             seed_secs.append(time.perf_counter() - t0)
 
             p = base.copy()
-            eng = FMEngine(bal, cfg, random.Random(1))
+            eng = FMEngine(bal, cfg, random.Random(1), backend="numpy")
             t0 = time.perf_counter()
             res = eng.refine(p)
             kern_secs.append(time.perf_counter() - t0)
@@ -184,6 +228,39 @@ def bench_fm_kernel(
 
         best_seed = min(seed_secs)
         best_kern = min(kern_secs)
+
+        # Registry-backend columns: each sweeps the identical refinement
+        # (recorded comparison vs the numpy engine's run, then timed).
+        backend_cols: Dict[str, Dict[str, object]] = {}
+        for bname in sweep:
+            p_b = base.copy()
+            eng_b = FMEngine(
+                bal, cfg, random.Random(1), record_moves=True,
+                backend=bname,
+            )
+            r_b = eng_b.refine(p_b)
+            b_equiv = _equivalent(r_new, r_b, p_new, p_b)
+            all_equivalent = all_equivalent and b_equiv
+            b_secs: List[float] = []
+            for _ in range(repeats):
+                p = base.copy()
+                eng_b2 = FMEngine(
+                    bal, cfg, random.Random(1), backend=bname
+                )
+                t0 = time.perf_counter()
+                eng_b2.refine(p)
+                b_secs.append(time.perf_counter() - t0)
+            best_b = min(b_secs)
+            backend_cols[bname] = {
+                "seconds": b_secs,
+                "best_seconds": best_b,
+                # vs the interpreted numpy engine, the production default
+                "speedup": best_kern / best_b if best_b > 0
+                else float("inf"),
+                "equivalent": b_equiv,
+                "resolved": eng_b._backend_name,
+            }
+
         speedup = best_seed / best_kern if best_kern > 0 else float("inf")
         speedups.append(speedup)
         out_configs[name] = {
@@ -197,11 +274,13 @@ def bench_fm_kernel(
             "passes": r_new.passes,
             "total_moves": r_new.total_moves,
             "perf": perf_dict,
+            "backends": backend_cols,
         }
 
     geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
     return {
         "benchmark": "fm_kernel",
+        "backends": sweep,
         "instance": {
             "name": instance,
             "scale": scale,
@@ -238,6 +317,19 @@ def render_fm_bench(result: Dict[str, object]) -> str:
             f"{c['speedup']:7.2f}x {c['final_cut']:8g} "
             f"{c['total_moves']:7d}  {'yes' if c['equivalent'] else 'NO'}"
         )
+    if any(c.get("backends") for c in result["configs"].values()):
+        lines.append("")
+        lines.append(
+            f"{'config':8s} {'backend':9s} {'best (s)':>10s} "
+            f"{'vs numpy':>9s}  equivalent"
+        )
+        for name, c in result["configs"].items():
+            for bname, col in c.get("backends", {}).items():
+                lines.append(
+                    f"{name:8s} {bname:9s} {col['best_seconds']:10.4f} "
+                    f"{col['speedup']:8.2f}x  "
+                    f"{'yes' if col['equivalent'] else 'NO'}"
+                )
     lines.append("")
     lines.append(
         f"geomean speedup: {result['speedup']:.2f}x — move-for-move "
@@ -269,6 +361,7 @@ def bench_ml_coarsen(
     seed: int = 0,
     tolerance: float = 0.02,
     clip: bool = False,
+    backends: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """End-to-end multilevel multistart: seed-oracle path vs pooled kernels.
 
@@ -288,6 +381,11 @@ def bench_ml_coarsen(
     multistart run; the reported times are minima over ``repeats``, with
     baseline and subject interleaved within each repeat so slow drift in
     the environment hits both equally.
+
+    Each registry backend in ``backends`` (default: every available
+    one) gets an extra timed pooled run — engines, matching and
+    contraction all on that backend — whose per-start cuts must equal
+    the oracle baseline's exactly.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -295,9 +393,15 @@ def bench_ml_coarsen(
         raise ValueError("num_starts must be >= 1")
     if pool_size < 1:
         raise ValueError("pool_size must be >= 1")
+    sweep = backend_sweep(backends)
 
     hg = suite_instance(instance, scale=scale)
     config = MLConfig(fm_config=FMConfig(clip=clip))
+
+    from repro.backends import warmup
+
+    for bname in sweep:
+        warmup(bname)
 
     def run_baseline() -> List[float]:
         engine = MLPartitioner(config, tolerance=tolerance, oracle=True)
@@ -312,11 +416,14 @@ def bench_ml_coarsen(
             cuts.append(engine.partition(hg, seed=seed + i, hierarchy=h).cut)
         return cuts
 
-    def run_pooled(perf: PerfCounters) -> List[float]:
+    def run_pooled(
+        perf: PerfCounters, backend: str = "numpy"
+    ) -> List[float]:
         pool = HierarchyPool(
-            hg, config, pool_size, base_seed=seed, perf=perf
+            hg, config, pool_size, base_seed=seed, perf=perf,
+            backend=backend,
         )
-        engine = MLPartitioner(config, tolerance=tolerance)
+        engine = MLPartitioner(config, tolerance=tolerance, backend=backend)
         ms = run_multistart_pooled(
             engine, hg, num_starts, base_seed=seed, pool=pool
         )
@@ -348,9 +455,31 @@ def bench_ml_coarsen(
 
     best_base = min(base_secs)
     best_pool = min(pool_secs)
+
+    # Registry-backend columns: one timed pooled run per backend per
+    # repeat; cuts must equal the oracle baseline's bit for bit.
+    backend_cols: Dict[str, Dict[str, object]] = {}
+    for bname in sweep:
+        b_secs: List[float] = []
+        b_equiv = True
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            cuts_k = run_pooled(PerfCounters(), backend=bname)
+            b_secs.append(time.perf_counter() - t0)
+            b_equiv = b_equiv and cuts_k == base_cuts
+        best_b = min(b_secs)
+        backend_cols[bname] = {
+            "seconds": b_secs,
+            "best_seconds": best_b,
+            "speedup": best_pool / best_b if best_b > 0 else float("inf"),
+            "equivalent": b_equiv,
+        }
+        equivalent = equivalent and b_equiv
+
     speedup = best_base / best_pool if best_pool > 0 else float("inf")
     return {
         "benchmark": "ml_coarsen",
+        "backends": backend_cols,
         "instance": {
             "name": instance,
             "scale": scale,
@@ -411,6 +540,7 @@ def bench_eval_bootstrap(
     num_shuffles: int = 50,
     repeats: int = 3,
     seed: int = 0,
+    backends: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """Evaluation-bootstrap microbenchmark: frozen oracle vs vectorized.
 
@@ -437,6 +567,12 @@ def bench_eval_bootstrap(
         raise ValueError("num_records and num_heuristics must be >= 1")
     if tau_points < 1 or num_shuffles < 1:
         raise ValueError("tau_points and num_shuffles must be >= 1")
+    sweep = backend_sweep(backends)
+
+    from repro.backends import warmup
+
+    for bname in sweep:
+        warmup(bname)
 
     records = _bootstrap_records(num_records, num_heuristics, seed)
     taus = default_tau_grid(records, points=tau_points)
@@ -463,11 +599,13 @@ def bench_eval_bootstrap(
             means[name], reach[name] = ms, rh
         return means, reach
 
-    def run_kernel():
+    def run_kernel(backend: str = "numpy"):
         means: Dict[str, List[Optional[float]]] = {}
         reach: Dict[str, List[float]] = {}
         for (name,), rs in groups.items():
-            kernel = BootstrapKernel(rs, num_shuffles, eval_seed(seed, name))
+            kernel = BootstrapKernel(
+                rs, num_shuffles, eval_seed(seed, name), backend=backend
+            )
             means[name] = [kernel.mean_c_tau(tau) for tau in taus]
             reach[name] = [
                 kernel.probability_reaching(tau, target) for tau in taus
@@ -500,9 +638,34 @@ def bench_eval_bootstrap(
 
     best_oracle = min(oracle_secs)
     best_kernel = min(kernel_secs)
+
+    # Registry-backend columns: the identical bootstrap per backend
+    # (bit-for-bit equality with the oracle's means and probabilities).
+    backend_cols: Dict[str, Dict[str, object]] = {}
+    for bname in sweep:
+        b_secs: List[float] = []
+        b_equiv = True
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            b_means, b_reach = run_kernel(backend=bname)
+            b_secs.append(time.perf_counter() - t0)
+            b_equiv = b_equiv and (
+                b_means == first["means"] and b_reach == first["reach"]
+            )
+        best_b = min(b_secs)
+        backend_cols[bname] = {
+            "seconds": b_secs,
+            "best_seconds": best_b,
+            "speedup": best_kernel / best_b if best_b > 0
+            else float("inf"),
+            "equivalent": b_equiv,
+        }
+        equivalent = equivalent and b_equiv
+
     speedup = best_oracle / best_kernel if best_kernel > 0 else float("inf")
     return {
         "benchmark": "eval_bootstrap",
+        "backends": backend_cols,
         "num_records": len(records),
         "num_heuristics": num_heuristics,
         "tau_points": tau_points,
@@ -535,6 +698,12 @@ def render_eval_bench(result: Dict[str, object]) -> str:
         f"speedup: {result['speedup']:.2f}x — bootstrap bit-identical: "
         f"{'yes' if result['equivalent'] else 'NO'}",
     ]
+    for bname, col in (result.get("backends") or {}).items():
+        lines.append(
+            f"  backend {bname:9s} {col['best_seconds']:8.3f} s "
+            f"({col['speedup']:.2f}x vs vectorized numpy, bootstrap "
+            f"{'identical' if col['equivalent'] else 'DIVERGED'})"
+        )
     return "\n".join(lines)
 
 
@@ -562,6 +731,12 @@ def render_ml_bench(result: Dict[str, object]) -> str:
         f"best cut: {result['best_cut']:g} over cuts "
         f"{[int(c) if float(c).is_integer() else c for c in result['cuts']]}",
     ]
+    for bname, col in (result.get("backends") or {}).items():
+        lines.append(
+            f"  backend {bname:9s} {col['best_seconds']:8.3f} s "
+            f"({col['speedup']:.2f}x vs pooled numpy, cuts "
+            f"{'identical' if col['equivalent'] else 'DIVERGED'})"
+        )
     return "\n".join(lines)
 
 
@@ -1187,4 +1362,362 @@ def render_inrun_bench(result: Dict[str, object]) -> str:
         f"({sweep})",
         f"best cut: {result['best_cut']:g}",
     ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Compiled-backend gate (``repro bench backends``)
+# ----------------------------------------------------------------------
+def bench_backends(
+    instance: str = "ibm01s",
+    scale: int = 16,
+    repeats: int = 5,
+    seed: int = 0,
+    tolerance: float = 0.1,
+    configs: Optional[Sequence[str]] = None,
+    max_passes: int = 4,
+    floor: float = 5.0,
+) -> Dict[str, object]:
+    """Compiled-backend acceptance gate on the fused FM pass kernel.
+
+    Times the production interpreted engine (``backend="numpy"``)
+    against every registered backend on an ibm-scale synthetic
+    instance, with a recorded move-for-move comparison per (config,
+    backend) so a column is only reported fast *and* bit-identical.
+    Activation cost (JIT compile / C build + self-check) is paid before
+    timing and reported per backend as ``compile_seconds``.
+
+    The gate: the best available *compiled* backend (``compiled`` in
+    its registry status — numba's JIT or cnative's C build, never the
+    interpreted flatref reference) must reach ``floor``x geomean
+    speedup over the interpreted engine while staying equivalent.  When
+    no compiled backend is available (numpy-only install), the gate is
+    reported as skipped with the recorded per-backend reasons rather
+    than failed — the registry's fallback contract.
+    """
+    from repro.backends import backend_status, get_backend, warmup
+
+    names = list(configs) if configs else list(BENCH_CONFIGS)
+    for name in names:
+        if name not in BENCH_CONFIGS:
+            raise ValueError(
+                f"unknown bench config {name!r}; valid: "
+                f"{', '.join(BENCH_CONFIGS)}"
+            )
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+
+    # Activate everything first: compile cost must not leak into the
+    # timed runs, and the status table should show every outcome.
+    status = backend_status()
+    available = [s["name"] for s in status
+                 if s["available"] and s["name"] != "numpy"]
+    for bname in available:
+        warmup(bname)
+
+    hg = suite_instance(instance, scale=scale)
+    bal = BalanceConstraint(hg.total_vertex_weight, tolerance)
+    base = Partition2.random_balanced(hg, bal, random.Random(seed))
+
+    out_configs: Dict[str, Dict[str, object]] = {}
+    per_backend_speedups: Dict[str, List[float]] = {b: [] for b in available}
+    all_equivalent = True
+    for name in names:
+        cfg = BENCH_CONFIGS[name].with_options(max_passes=max_passes)
+
+        # Reference run (recorded; not timed) on the interpreted engine.
+        p_ref = base.copy()
+        r_ref = FMEngine(
+            bal, cfg, random.Random(1), record_moves=True, backend="numpy"
+        ).refine(p_ref)
+
+        numpy_secs: List[float] = []
+        for _ in range(repeats):
+            p = base.copy()
+            eng = FMEngine(bal, cfg, random.Random(1), backend="numpy")
+            t0 = time.perf_counter()
+            eng.refine(p)
+            numpy_secs.append(time.perf_counter() - t0)
+        best_numpy = min(numpy_secs)
+
+        cols: Dict[str, Dict[str, object]] = {}
+        for bname in available:
+            p_b = base.copy()
+            r_b = FMEngine(
+                bal, cfg, random.Random(1), record_moves=True,
+                backend=bname,
+            ).refine(p_b)
+            b_equiv = _equivalent(r_ref, r_b, p_ref, p_b)
+            all_equivalent = all_equivalent and b_equiv
+            b_secs: List[float] = []
+            for _ in range(repeats):
+                p = base.copy()
+                eng_b = FMEngine(bal, cfg, random.Random(1), backend=bname)
+                t0 = time.perf_counter()
+                eng_b.refine(p)
+                b_secs.append(time.perf_counter() - t0)
+            best_b = min(b_secs)
+            b_speed = best_numpy / best_b if best_b > 0 else float("inf")
+            per_backend_speedups[bname].append(b_speed)
+            cols[bname] = {
+                "seconds": b_secs,
+                "best_seconds": best_b,
+                "speedup": b_speed,
+                "equivalent": b_equiv,
+            }
+        out_configs[name] = {
+            "numpy_seconds": numpy_secs,
+            "best_numpy_seconds": best_numpy,
+            "final_cut": r_ref.final_cut,
+            "total_moves": r_ref.total_moves,
+            "backends": cols,
+        }
+
+    speedups = {
+        bname: math.exp(sum(math.log(s) for s in ss) / len(ss))
+        for bname, ss in per_backend_speedups.items()
+        if ss
+    }
+
+    # Gate on the best available compiled backend.
+    compiled = [s["name"] for s in status
+                if s["available"] and s["compiled"]]
+    gate: Dict[str, object] = {"floor": floor}
+    if compiled:
+        gate_backend = max(compiled, key=lambda b: speedups.get(b, 0.0))
+        gate_equivalent = all(
+            out_configs[name]["backends"][gate_backend]["equivalent"]
+            for name in names
+        )
+        gate.update(
+            backend=gate_backend,
+            speedup=speedups[gate_backend],
+            equivalent=gate_equivalent,
+            passed=bool(
+                gate_equivalent and speedups[gate_backend] >= floor
+            ),
+            skipped=False,
+        )
+    else:
+        gate.update(
+            backend=None,
+            speedup=None,
+            equivalent=None,
+            passed=None,
+            skipped=True,
+            skip_reason="no compiled backend available: " + "; ".join(
+                f"{s['name']}: {s['reason']}" for s in status
+                if not s["available"]
+            ),
+        )
+
+    return {
+        "benchmark": "backends",
+        "instance": {
+            "name": instance,
+            "scale": scale,
+            "num_vertices": hg.num_vertices,
+            "num_nets": hg.num_nets,
+            "num_pins": hg.num_pins,
+        },
+        "repeats": repeats,
+        "seed": seed,
+        "tolerance": tolerance,
+        "max_passes": max_passes,
+        "status": status,
+        "configs": out_configs,
+        "speedups": speedups,
+        "equivalent": all_equivalent,
+        "gate": gate,
+    }
+
+
+def render_backends_bench(result: Dict[str, object]) -> str:
+    """Human-readable summary for one :func:`bench_backends` result."""
+    inst = result["instance"]
+    lines = [
+        f"Backend registry gate — {inst['name']} (scale {inst['scale']}: "
+        f"{inst['num_vertices']} cells, {inst['num_nets']} nets, "
+        f"{inst['num_pins']} pins), {result['repeats']} repeat(s), "
+        f"tolerance {result['tolerance']:g}",
+        "",
+        f"{'backend':9s} {'available':>9s} {'compiled':>8s} "
+        f"{'compile (s)':>11s}  reason",
+    ]
+    for s in result["status"]:
+        lines.append(
+            f"{s['name']:9s} {'yes' if s['available'] else 'no':>9s} "
+            f"{'yes' if s['compiled'] else 'no':>8s} "
+            f"{s['compile_seconds']:11.3f}  {s['reason']}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'config':8s} {'backend':9s} {'best (s)':>10s} "
+        f"{'vs numpy':>9s}  equivalent"
+    )
+    for name, c in result["configs"].items():
+        lines.append(
+            f"{name:8s} {'numpy':9s} {c['best_numpy_seconds']:10.4f} "
+            f"{'1.00x':>9s}  (reference)"
+        )
+        for bname, col in c["backends"].items():
+            lines.append(
+                f"{name:8s} {bname:9s} {col['best_seconds']:10.4f} "
+                f"{col['speedup']:8.2f}x  "
+                f"{'yes' if col['equivalent'] else 'NO'}"
+            )
+    lines.append("")
+    gate = result["gate"]
+    if gate.get("skipped"):
+        lines.append(
+            f"gate SKIPPED (floor {gate['floor']:g}x): "
+            f"{gate['skip_reason']}"
+        )
+    else:
+        lines.append(
+            f"gate [{gate['backend']}]: {gate['speedup']:.2f}x geomean "
+            f"vs the interpreted engine (floor {gate['floor']:g}x), "
+            f"move-for-move equivalent: "
+            f"{'yes' if gate['equivalent'] else 'NO'} — "
+            f"{'PASSED' if gate['passed'] else 'FAILED'}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# One-shot summary (``repro bench all``)
+# ----------------------------------------------------------------------
+#: (target, runner, renderer) for ``bench_all``; runners use reduced
+#: parameters so the full suite stays minutes-not-hours while every
+#: equivalence verdict still gets exercised.
+def _bench_all_targets(quick: bool):
+    if quick:
+        return (
+            ("fm", lambda: bench_fm_kernel(repeats=1)),
+            ("ml", lambda: bench_ml_coarsen(repeats=1, num_starts=4)),
+            ("eval", lambda: bench_eval_bootstrap(
+                num_records=2000, tau_points=8, num_shuffles=20,
+                repeats=1)),
+            ("orchestrate", lambda: bench_orchestrate(
+                scale=32, repeats=1, num_starts=12)),
+            ("inrun", lambda: bench_inrun(
+                scale=32, repeats=1, num_starts=8, workers=2)),
+            ("kway", lambda: bench_kway(
+                scale=32, repeats=1, num_starts=2)),
+            ("backends", lambda: bench_backends(scale=32, repeats=2)),
+        )
+    return (
+        ("fm", bench_fm_kernel),
+        ("ml", bench_ml_coarsen),
+        ("eval", bench_eval_bootstrap),
+        ("orchestrate", bench_orchestrate),
+        ("inrun", bench_inrun),
+        ("kway", bench_kway),
+        ("backends", bench_backends),
+    )
+
+
+def bench_all(quick: bool = True) -> Dict[str, object]:
+    """Run every bench target and collect one summary.
+
+    ``quick`` (the default) shrinks each target's workload so the whole
+    suite finishes in CI-friendly time; the per-target equivalence
+    verdicts are still real (they compare full runs, just smaller
+    ones).  ``quick=False`` runs every target at its own defaults.
+
+    The summary's ``equivalent`` is the conjunction of every target's
+    verdict; the backend gate's pass/fail rides separately (``quick``
+    workloads are too small to hold the gate to its floor, so
+    ``bench_all`` reports the gate but never fails on it).
+    """
+    results: Dict[str, Dict[str, object]] = {}
+    seconds: Dict[str, float] = {}
+    for name, runner in _bench_all_targets(quick):
+        t0 = time.perf_counter()
+        results[name] = runner()
+        seconds[name] = time.perf_counter() - t0
+    return {
+        "benchmark": "all",
+        "quick": quick,
+        "results": results,
+        "bench_seconds": seconds,
+        "equivalent": all(
+            r.get("equivalent", True) for r in results.values()
+        ),
+    }
+
+
+def render_all_bench(result: Dict[str, object]) -> str:
+    """One-table summary for :func:`bench_all`."""
+    lines = [
+        "Bench suite summary"
+        + (" (quick workloads)" if result["quick"] else ""),
+        "",
+        f"{'target':12s} {'baseline (s)':>12s} {'subject (s)':>12s} "
+        f"{'speedup':>8s} {'bench (s)':>10s}  equivalent",
+    ]
+    base_keys = (
+        "best_seed_seconds", "best_baseline_seconds", "best_oracle_seconds",
+        "best_numpy_seconds",
+    )
+    subj_keys = (
+        "best_kernel_seconds", "best_pooled_seconds", "best_subject_seconds",
+    )
+
+    def pick(r: Dict[str, object], keys) -> Optional[float]:
+        for k in keys:
+            if k in r:
+                return r[k]  # type: ignore[return-value]
+        return None
+
+    for name, r in result["results"].items():
+        if name == "backends":
+            # baseline = interpreted engine, subject = gate backend
+            gate = r["gate"]
+            base = min(
+                c["best_numpy_seconds"] for c in r["configs"].values()
+            )
+            subj = None
+            speed = gate.get("speedup")
+            if gate.get("backend"):
+                subj = min(
+                    c["backends"][gate["backend"]]["best_seconds"]
+                    for c in r["configs"].values()
+                )
+        elif name == "fm":
+            # per-config times: sum them (flat + clip, one pass each)
+            base = sum(
+                c["best_seed_seconds"] for c in r["configs"].values()
+            )
+            subj = sum(
+                c["best_kernel_seconds"] for c in r["configs"].values()
+            )
+            speed = r.get("speedup")
+        else:
+            base = pick(r, base_keys)
+            subj = pick(r, subj_keys)
+            speed = r.get("speedup")
+        base_s = f"{base:12.3f}" if base is not None else f"{'—':>12s}"
+        subj_s = f"{subj:12.3f}" if subj is not None else f"{'—':>12s}"
+        speed_s = f"{speed:7.2f}x" if speed else f"{'—':>8s}"
+        lines.append(
+            f"{name:12s} {base_s} {subj_s} {speed_s} "
+            f"{result['bench_seconds'][name]:10.1f}  "
+            f"{'yes' if r.get('equivalent', True) else 'NO'}"
+        )
+    lines.append("")
+    gate = result["results"].get("backends", {}).get("gate", {})
+    if gate:
+        if gate.get("skipped"):
+            lines.append(f"backend gate: skipped — {gate['skip_reason']}")
+        else:
+            lines.append(
+                f"backend gate [{gate['backend']}]: "
+                f"{gate['speedup']:.2f}x (floor {gate['floor']:g}x, "
+                f"informational at quick scale)"
+            )
+    lines.append(
+        "all record/statistic streams bit-identical: "
+        + ("yes" if result["equivalent"] else "NO")
+    )
     return "\n".join(lines)

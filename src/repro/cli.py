@@ -180,6 +180,15 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+def _parse_backends(value: Optional[str]):
+    """``--backends`` flag value -> list for the bench sweep (None =
+    every available backend, empty string = skip the sweep)."""
+    if value is None:
+        return None
+    names = [b.strip() for b in value.split(",") if b.strip()]
+    return names
+
+
 def cmd_bench_fm(args: argparse.Namespace) -> int:
     """FM kernel microbenchmark vs the frozen seed engine.
 
@@ -198,6 +207,7 @@ def cmd_bench_fm(args: argparse.Namespace) -> int:
         tolerance=args.tolerance,
         configs=configs,
         max_passes=args.max_passes,
+        backends=_parse_backends(args.backends),
     )
     print(render_fm_bench(result))
     write_fm_bench_json(result, args.output)
@@ -234,6 +244,7 @@ def cmd_bench_ml(args: argparse.Namespace) -> int:
         seed=args.seed,
         tolerance=args.tolerance,
         clip=args.clip,
+        backends=_parse_backends(args.backends),
     )
     print(render_ml_bench(result))
     write_bench_json(result, args.output)
@@ -270,6 +281,7 @@ def cmd_bench_eval(args: argparse.Namespace) -> int:
         num_shuffles=args.shuffles,
         repeats=args.repeats,
         seed=args.seed,
+        backends=_parse_backends(args.backends),
     )
     print(render_eval_bench(result))
     write_bench_json(result, args.output)
@@ -335,6 +347,86 @@ def cmd_bench_orchestrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_backends(args: argparse.Namespace) -> int:
+    """Compiled-backend gate: registry backends vs the interpreted
+    engine on the fused FM pass kernel.
+
+    Prints the registry status + per-backend timing tables, writes
+    machine-readable JSON, and gates: exit code 1 when any backend
+    diverges move-for-move or the best compiled backend misses the
+    speedup floor.  On a numpy-only install the gate is *skipped* (no
+    compiled backend to hold to the floor) unless ``--require-compiled``
+    insists.
+    """
+    from repro.bench import (
+        bench_backends,
+        render_backends_bench,
+        write_bench_json,
+    )
+
+    configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    result = bench_backends(
+        instance=args.instance,
+        scale=args.scale,
+        repeats=args.repeats,
+        seed=args.seed,
+        tolerance=args.tolerance,
+        configs=configs,
+        max_passes=args.max_passes,
+        floor=args.floor,
+    )
+    print(render_backends_bench(result))
+    write_bench_json(result, args.output)
+    print(f"\nwrote {args.output}")
+    if not result["equivalent"]:
+        print(
+            "error: a backend is NOT move-for-move equivalent to the "
+            "interpreted engine",
+            file=sys.stderr,
+        )
+        return 1
+    gate = result["gate"]
+    if gate["skipped"]:
+        if args.require_compiled:
+            print(
+                f"error: --require-compiled but {gate['skip_reason']}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    if not gate["passed"]:
+        print(
+            f"error: gate backend {gate['backend']} at "
+            f"{gate['speedup']:.2f}x is below the {gate['floor']:g}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_bench_all(args: argparse.Namespace) -> int:
+    """Run every bench target and print one summary table.
+
+    Gates only on the equivalence verdicts (every target's records and
+    statistics must be bit-identical); speedup floors stay with the
+    individual targets, whose workloads are sized for them.
+    """
+    from repro.bench import bench_all, render_all_bench, write_bench_json
+
+    result = bench_all(quick=not args.full)
+    print(render_all_bench(result))
+    if args.output:
+        write_bench_json(result, args.output)
+        print(f"\nwrote {args.output}")
+    if not result["equivalent"]:
+        print(
+            "error: a bench target reported non-equivalent results",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 #: One-line description per bench target, shown by bare ``repro bench``.
 BENCH_TARGETS = (
     ("fm", "FM kernel vs the frozen seed engine (move-for-move gate)"),
@@ -344,6 +436,9 @@ BENCH_TARGETS = (
     ("inrun", "in-run parallel coarsening/multistart vs the serial engine"),
     ("kway", "k-way + terminal-propagation scenarios across every "
              "execution plane"),
+    ("backends", "compiled kernel backends vs the interpreted engine "
+                 "(bit-identity + speedup-floor gate)"),
+    ("all", "every target once, one summary table"),
 )
 
 
@@ -499,6 +594,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         sticky_pool_size=args.sticky_pool_size,
         use_shared_memory=not args.no_shared_memory,
         inrun_workers=args.inrun_workers,
+        backend=args.backend,
         progress=ProgressPrinter() if args.progress else None,
         resume=args.resume,
         cli_meta=cli_meta,
@@ -551,6 +647,7 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
         sticky_pool_size=args.sticky_pool_size,
         use_shared_memory=not args.no_shared_memory,
         inrun_workers=args.inrun_workers,
+        backend=args.backend,
         progress=ProgressPrinter() if args.progress else None,
         resume=True,
     )
@@ -733,6 +830,7 @@ def _job_spec_from_args(args: argparse.Namespace):
         timeout_seconds=args.timeout,
         max_retries=args.retries,
         inrun_workers=args.inrun_workers,
+        backend=args.backend,
     )
 
 
@@ -900,6 +998,10 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--configs", default="flat,clip",
                    help="comma-separated kernel configs (flat,clip)")
     b.add_argument("--max-passes", type=int, default=4)
+    b.add_argument("--backends", default=None,
+                   help="comma-separated registry backends for the "
+                   "per-backend columns (default: every available one; "
+                   "pass '' to skip the sweep)")
     b.add_argument("--min-speedup", type=float, default=0.0,
                    help="fail (exit 1) below this geomean speedup")
     b.add_argument("-o", "--output", default="BENCH_fm_kernel.json")
@@ -924,6 +1026,10 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--tolerance", type=float, default=0.02)
     b.add_argument("--clip", action="store_true",
                    help="CLIP refinement instead of flat LIFO FM")
+    b.add_argument("--backends", default=None,
+                   help="comma-separated registry backends for extra "
+                   "pooled-run columns (default: every available one; "
+                   "pass '' to skip)")
     b.add_argument("--min-speedup", type=float, default=2.0,
                    help="fail (exit 1) below this end-to-end speedup "
                    "(default 2.0; pass 0 to disable the gate)")
@@ -947,6 +1053,10 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--repeats", type=int, default=3,
                    help="timed runs per path (min is reported)")
     b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--backends", default=None,
+                   help="comma-separated registry backends for extra "
+                   "bootstrap columns (default: every available one; "
+                   "pass '' to skip)")
     b.add_argument("--min-speedup", type=float, default=10.0,
                    help="fail (exit 1) below this speedup "
                    "(default 10.0; pass 0 to disable the gate)")
@@ -1026,6 +1136,43 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("-o", "--output", default="BENCH_kway.json")
     b.set_defaults(func=cmd_bench_kway)
 
+    b = bsub.add_parser(
+        "backends",
+        help="compiled kernel backends vs the interpreted engine "
+        "(writes BENCH_backends.json)",
+    )
+    b.add_argument("--instance", default="ibm01s",
+                   help="synthetic suite instance (default ibm01s)")
+    b.add_argument("--scale", type=int, default=16,
+                   help="suite scale divisor (default 16 = acceptance size)")
+    b.add_argument("--repeats", type=int, default=5,
+                   help="timed runs per backend per config (min is "
+                   "reported)")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--tolerance", type=float, default=0.1)
+    b.add_argument("--configs", default="flat,clip",
+                   help="comma-separated kernel configs (flat,clip)")
+    b.add_argument("--max-passes", type=int, default=4)
+    b.add_argument("--floor", type=float, default=5.0,
+                   help="required geomean speedup of the best compiled "
+                   "backend over the interpreted engine (default 5.0)")
+    b.add_argument("--require-compiled", action="store_true",
+                   help="fail instead of skipping the gate when no "
+                   "compiled backend is available")
+    b.add_argument("-o", "--output", default="BENCH_backends.json")
+    b.set_defaults(func=cmd_bench_backends)
+
+    b = bsub.add_parser(
+        "all",
+        help="run every bench target once and print one summary table",
+    )
+    b.add_argument("--full", action="store_true",
+                   help="each target at its own default workload instead "
+                   "of the quick sizes")
+    b.add_argument("-o", "--output", default=None,
+                   help="also write the combined JSON here")
+    b.set_defaults(func=cmd_bench_all)
+
     p = sub.add_parser(
         "campaign",
         help="orchestrated campaigns: parallel, journaled, resumable",
@@ -1059,6 +1206,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="parallel-proposal workers inside each trial's "
             "coarsening (fair-share clamped against --workers; "
             "records are bit-identical at any value)",
+        )
+        c.add_argument(
+            "--backend", default=None,
+            help="kernel backend for every trial (numpy, flatref, "
+            "numba, cnative, cython, or auto = best available "
+            "compiled); backends are selectable only when "
+            "bit-identical, so records never change — unavailable "
+            "backends fall back to numpy with the reason recorded",
         )
 
     c = csub.add_parser("run", help="run a campaign through the orchestrator")
@@ -1197,6 +1352,10 @@ def build_parser() -> argparse.ArgumentParser:
     j.add_argument("--inrun-workers", type=int, default=1,
                    help="in-run parallel workers per trial (clamped "
                    "against the service fleet; records unchanged)")
+    j.add_argument("--backend", default=None,
+                   help="kernel backend for this job's trials (numpy, "
+                   "flatref, numba, cnative, cython, auto); selectable "
+                   "only when bit-identical, so records never change")
     j.add_argument("--wait", action="store_true",
                    help="follow the job and exit when it finishes")
 

@@ -143,6 +143,7 @@ class _PassScratch:
         "np_owner",
         "np_vtx_nets",
         "np_net_w",
+        "kflat",
     )
 
     def __init__(self, partition: Partition2, order, rng) -> None:
@@ -202,6 +203,28 @@ class _PassScratch:
         self.np_owner = None
         self.np_vtx_nets = None
         self.np_net_w = None
+        # Flat int64 mirrors for the compiled-backend pass kernel,
+        # built lazily on first kernel refine (numpy-backend runs and
+        # non-integral regimes never pay for them).
+        self.kflat = None
+
+    def ensure_kflat(self, hg) -> None:
+        """Build the immutable flat arrays the backend kernels consume.
+
+        Only called in the integral regime (``vw_integral`` and an
+        integral cut ledger), so the int64 casts are exact.
+        """
+        if self.kflat is not None:
+            return
+        net_ptr, net_pins, vtx_ptr, vtx_nets = hg.raw_csr
+        self.kflat = (
+            _np.array(net_ptr, dtype=_np.int64),
+            _np.array(net_pins, dtype=_np.int64),
+            _np.array(vtx_ptr, dtype=_np.int64),
+            _np.array(vtx_nets, dtype=_np.int64),
+            _np.array(self.net_w, dtype=_np.int64),
+            _np.array([int(w) for w in self.vwt], dtype=_np.int64),
+        )
 
     def ensure_np(self, hg) -> None:
         """Build the numpy incidence/weight arrays for gain seeding."""
@@ -268,6 +291,7 @@ class FMEngine:
         record_moves: bool = False,
         snapshot_rollback: bool = True,
         vector_seed: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         self.balance = balance
         self.config = config if config is not None else FMConfig()
@@ -275,6 +299,18 @@ class FMEngine:
         self.record_moves = record_moves
         self.snapshot_rollback = snapshot_rollback
         self.vector_seed = vector_seed and _np is not None
+        # Kernel backend: the explicit argument wins over
+        # ``config.backend``, which wins over the process default /
+        # REPRO_BACKEND (resolved lazily on first refine so import
+        # order cannot matter).  Resolution can only land on a backend
+        # that passed the registry's bit-identity self-check, so every
+        # choice here refines identically — the compiled path is also
+        # gated per-partition on the integral regime it requires.
+        self.backend = backend
+        self._backend_name = "numpy"
+        self._backend_note = ""
+        self._kernels = None
+        self._kernels_resolved = (False, -1)
         # Scratch cache: per-hypergraph invariants plus preallocated
         # kernel arrays, keyed on (hypergraph identity, insertion order)
         # AND validated against a weight fingerprint so out-of-band
@@ -299,7 +335,20 @@ class FMEngine:
         cfg = self.config
         start = time.perf_counter()
         self._ensure_scratch(partition)
+        ks = self._resolve_kernels()
+        if (
+            ks is not None
+            and self._scratch.vw_integral
+            and partition.integral_nets
+        ):
+            result = self._refine_kernel(partition, ks, start)
+            if result is not None:
+                return result
+            # Kernel declined mid-run (gain-bound guard): the pass
+            # restored its entry state, so the interpreted loop below
+            # resumes exactly there and raises the engine's error.
         perf = PerfCounters()
+        perf.backend = "numpy"  # interpreted pass loop below
         initial_cut = partition.cut
         stats: List[PassStats] = []
         total_moves = 0
@@ -354,6 +403,204 @@ class FMEngine:
         self._scratch_for = hg
         self._scratch_fingerprint = fp
         self._scratch_order = order
+
+    # ------------------------------------------------------------------
+    def _resolve_kernels(self):
+        """Resolve the backend request once per registry generation.
+
+        Cached engines outlive execution contexts (the multilevel layer
+        reuses its engine pair across every start), so the cache keys on
+        :func:`repro.backends.resolution_generation` — a later
+        ``set_default_backend`` (or registry reset) re-resolves instead
+        of running on a stale choice.
+        """
+        from repro.backends import active_kernels, resolution_generation
+
+        gen = resolution_generation()
+        if self._kernels_resolved != (True, gen):
+            requested = self.backend
+            if requested is None:
+                requested = self.config.backend
+            (self._backend_name, self._kernels,
+             self._backend_note) = active_kernels(requested)
+            self._kernels_resolved = (True, gen)
+        return self._kernels
+
+    def _refine_kernel(
+        self, partition: Partition2, ks, start: float
+    ) -> Optional[FMResult]:
+        """Run the refine loop through a backend's fused pass kernel.
+
+        Bit-identical to the interpreted loop (the registry only hands
+        out self-checked kernels, and this path is gated on the integral
+        regime where the restore-and-replay rollback is exact).  State
+        crosses into flat int64 arrays once per refine and is written
+        back once at the end — between passes nothing reads the
+        partition object.  Returns ``None`` when the kernel hit the
+        gain-bound guard: the pass entry state was restored, so the
+        caller's interpreted loop resumes exactly there and raises the
+        engine's normal error.
+        """
+        cfg = self.config
+        bal = self.balance
+        sc = self._scratch
+        sc.ensure_kflat(partition.hypergraph)
+        (k_net_ptr, k_net_pins, k_vtx_ptr, k_vtx_nets,
+         k_net_w, k_vwt) = sc.kflat
+        n = partition.hypergraph.num_vertices
+
+        assign = _np.array(partition.assignment, dtype=_np.int64)
+        fixed = _np.fromiter(
+            (1 if f else 0 for f in partition.fixed),
+            dtype=_np.int64, count=n,
+        )
+        pins0_l, pins1_l = partition.pins_in_part
+        pins0 = _np.array(pins0_l, dtype=_np.int64)
+        pins1 = _np.array(pins1_l, dtype=_np.int64)
+        pw_l = partition.part_weights
+        pw = _np.array([int(pw_l[0]), int(pw_l[1])], dtype=_np.int64)
+        cut_io = _np.array([int(partition.cut)], dtype=_np.int64)
+        move_log = _np.zeros(n, dtype=_np.int64)
+        out = _np.zeros(8, dtype=_np.int64)
+
+        clip = 1 if cfg.clip else 0
+        update_all = 1 if cfg.update_policy is UpdatePolicy.ALL else 0
+        tie = (0 if cfg.tie_bias is TieBias.AWAY
+               else 1 if cfg.tie_bias is TieBias.PART0 else 2)
+        order_code = (0 if cfg.insertion_order is InsertionOrder.LIFO
+                      else 1 if cfg.insertion_order is InsertionOrder.FIFO
+                      else 2)
+        best = (0 if cfg.best_choice is BestChoice.FIRST
+                else 1 if cfg.best_choice is BestChoice.LAST else 2)
+        illegal = (
+            0 if cfg.illegal_head is IllegalHeadPolicy.SKIP_BUCKET
+            else 1 if cfg.illegal_head is IllegalHeadPolicy.SKIP_PARTITION
+            else 2
+        )
+        guard = 1 if cfg.guard_oversized else 0
+        rnd = cfg.insertion_order is InsertionOrder.RANDOM
+        if rnd:
+            # Hand the kernel the live CPython MT19937 state; it
+            # consumes exactly the draws the interpreted pass would.
+            st = self.rng.getstate()
+            mt = _np.array(st[1][:624], dtype=_np.int64)
+            mti_io = _np.array([st[1][624]], dtype=_np.int64)
+        else:
+            st = None
+            mt = _np.zeros(624, dtype=_np.int64)
+            mti_io = _np.zeros(1, dtype=_np.int64)
+
+        perf = PerfCounters()
+        perf.backend = self._backend_name
+        initial_cut = partition.cut
+        stats: List[PassStats] = []
+        total_moves = 0
+        stuck_count = 0
+        lo = bal.lower_bound
+        hi = bal.upper_bound
+        slack = bal.slack
+        for _ in range(cfg.max_passes):
+            t0 = time.perf_counter()
+            pwf = (float(pw[0]), float(pw[1]))
+            initial_legal = 1 if bal.is_legal(pwf) else 0
+            initial_distance = bal.distance_from_bounds(pwf)
+            if rnd:
+                mt_bak = mt.copy()
+                mti_bak = int(mti_io[0])
+            cut_before = int(cut_io[0])
+            ks.fm_pass(
+                k_net_ptr, k_net_pins, k_vtx_ptr, k_vtx_nets,
+                k_net_w, k_vwt,
+                assign, fixed, pins0, pins1, pw, cut_io,
+                lo, hi, slack, initial_legal, initial_distance,
+                clip, update_all, tie, order_code, best, illegal,
+                guard, sc.max_abs,
+                mt, mti_io, move_log, out,
+            )
+            if out[7] != 0:
+                # Gain left the bounded window: the interpreted pass
+                # raises here.  The kernel restored its entry state and
+                # consumed no externally-visible randomness (we re-arm
+                # the pre-pass MT state), so falling back replays this
+                # exact pass and surfaces the identical ValueError.
+                if rnd:
+                    self.rng.setstate((
+                        st[0],
+                        tuple(int(x) for x in mt_bak) + (mti_bak,),
+                        st[2],
+                    ))
+                self._writeback_kernel_state(
+                    partition, assign, pins0, pins1, pw, cut_io
+                )
+                return None
+            mcount = int(out[0])
+            best_k = int(out[1])
+            seconds = time.perf_counter() - t0
+            perf.passes += 1
+            perf.pass_seconds.append(seconds)
+            perf.vertices_seeded += int(out[2])
+            perf.selects += int(out[3])
+            perf.gain_updates += int(out[4])
+            perf.zero_delta_skips += int(out[5])
+            perf.noncritical_net_skips += int(out[6])
+            perf.moves_applied += mcount
+            perf.moves_kept += best_k
+            perf.moves_rolled_back += mcount - best_k
+            cut_after = int(cut_io[0])
+            stuck = int(out[2]) > 0 and mcount == 0
+            stats.append(PassStats(
+                moves_considered=mcount,
+                moves_kept=best_k,
+                cut_before=cut_before,
+                cut_after=cut_after,
+                stuck=stuck,
+                seconds=seconds,
+                move_log=(
+                    [int(move_log[i]) for i in range(mcount)]
+                    if self.record_moves else None
+                ),
+            ))
+            total_moves += best_k
+            if stuck:
+                stuck_count += 1
+            if cut_before - cut_after <= cfg.min_pass_improvement:
+                break
+        if rnd:
+            self.rng.setstate((
+                st[0],
+                tuple(int(x) for x in mt) + (int(mti_io[0]),),
+                st[2],
+            ))
+        self._writeback_kernel_state(
+            partition, assign, pins0, pins1, pw, cut_io
+        )
+        perf.total_seconds = time.perf_counter() - start
+        return FMResult(
+            initial_cut=initial_cut,
+            final_cut=partition.cut,
+            passes=len(stats),
+            total_moves=total_moves,
+            stuck_passes=stuck_count,
+            runtime_seconds=time.perf_counter() - start,
+            pass_stats=stats,
+            perf=perf,
+        )
+
+    @staticmethod
+    def _writeback_kernel_state(
+        partition: Partition2, assign, pins0, pins1, pw, cut_io
+    ) -> None:
+        """Publish kernel arrays back into the partition's Python state,
+        preserving the interpreted path's value types exactly (float
+        part weights carrying integral values, int cut ledger)."""
+        partition.assignment[:] = assign.tolist()
+        p0, p1 = partition.pins_in_part
+        p0[:] = pins0.tolist()
+        p1[:] = pins1.tolist()
+        pw_l = partition.part_weights
+        pw_l[0] = float(pw[0])
+        pw_l[1] = float(pw[1])
+        partition.cut = int(cut_io[0])
 
     # ------------------------------------------------------------------
     def _run_pass(self, partition: Partition2, perf: PerfCounters) -> PassStats:

@@ -118,6 +118,7 @@ class PerfCounters:
         "inrun_proposal_seconds",
         "inrun_merge_seconds",
         "inrun_fanout_seconds",
+        "compile_seconds",
     )
 
     passes: int = 0
@@ -142,6 +143,15 @@ class PerfCounters:
     inrun_proposal_seconds: float = 0.0
     inrun_merge_seconds: float = 0.0
     inrun_fanout_seconds: float = 0.0
+    #: Kernel backend that executed the run ("" = unreported; "mixed"
+    #: after merging runs from different backends).  A string, so it is
+    #: handled specially everywhere COUNT/TIMING fields are iterated.
+    backend: str = ""
+    #: One-time backend warm-up (JIT compile + self-check) charged at
+    #: worker payload-attach time — deliberately *outside* every trial
+    #: runtime so BSF/ranking curves see steady-state speed (the
+    #: first-trial timing-skew fix).
+    compile_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     def merge(self, other: "PerfCounters") -> None:
@@ -170,6 +180,12 @@ class PerfCounters:
         self.inrun_proposal_seconds += other.inrun_proposal_seconds
         self.inrun_merge_seconds += other.inrun_merge_seconds
         self.inrun_fanout_seconds += other.inrun_fanout_seconds
+        self.compile_seconds += other.compile_seconds
+        if other.backend:
+            if not self.backend:
+                self.backend = other.backend
+            elif self.backend != other.backend:
+                self.backend = "mixed"
 
     @property
     def moves_per_second(self) -> float:
@@ -205,6 +221,8 @@ class PerfCounters:
             "inrun_proposal_seconds": self.inrun_proposal_seconds,
             "inrun_merge_seconds": self.inrun_merge_seconds,
             "inrun_fanout_seconds": self.inrun_fanout_seconds,
+            "backend": self.backend,
+            "compile_seconds": self.compile_seconds,
         }
 
     def summary(self) -> str:

@@ -123,11 +123,14 @@ class ShmHandle:
 class _Mapping:
     """Process-local refcounted view of one attached segment."""
 
-    __slots__ = ("shm", "refs")
+    __slots__ = ("shm", "refs", "unlinked")
 
     def __init__(self, shm) -> None:
         self.shm = shm
         self.refs = 1
+        #: Creator reference already dropped by :func:`unlink_handle`
+        #: (makes double unlink a no-op on the refcount).
+        self.unlinked = False
 
 
 #: name -> mapping for every segment this process currently has open.
@@ -332,25 +335,37 @@ def detach_handle(handle: ShmHandle) -> None:
 def unlink_handle(handle: ShmHandle) -> None:
     """Destroy ``handle``'s segment (idempotent; fallback = no-op).
 
-    Releases this process's mapping if one is still open, then asks the
-    kernel to remove the name.  Exactly one process — the creator —
-    should unlink; :class:`SharedInstanceSet` enforces that.  Safe under
-    concurrent detach/unlink from multiple threads: the registry pop is
-    atomic, a lost race degrades to the ``FileNotFoundError`` no-op.
+    Drops the creator's reference, then asks the kernel to remove the
+    name.  Exactly one process — the creator — should unlink;
+    :class:`SharedInstanceSet` enforces that.  The mapping itself is
+    closed only when no concurrent attacher still references it —
+    closing under a live reader would release the buffer out from under
+    its views — so under churn the last :func:`detach_handle` performs
+    the close, and late attachers observe the normal
+    ``FileNotFoundError`` once the name is gone.
     """
     if not handle.is_shared or not HAVE_SHARED_MEMORY:
         return
+    close_now = None
     with _REGISTRY_LOCK:
-        mapping = _MAPPINGS.pop(handle.segment, None)
-    try:
+        mapping = _MAPPINGS.get(handle.segment)
         if mapping is not None:
             shm = mapping.shm
-        else:
+            if not mapping.unlinked:
+                mapping.unlinked = True
+                mapping.refs -= 1
+                if mapping.refs <= 0:
+                    del _MAPPINGS[handle.segment]
+                    close_now = shm
+    try:
+        if mapping is None:
             shm = _shared_memory.SharedMemory(name=handle.segment)
+            close_now = shm
         shm.unlink()
-        _close_quietly(shm)
     except FileNotFoundError:
         pass  # already unlinked (e.g. by the resource tracker)
+    if close_now is not None:
+        _close_quietly(close_now)
 
 
 def _attach_mapping(name: str) -> _Mapping:

@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.perf import PerfCounters
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.multilevel.matching import _WS
+from repro.multilevel.matching import _WS, _kernels, _np
 
 
 @dataclass
@@ -83,6 +83,7 @@ def coarsen(
     hypergraph: Hypergraph,
     cluster_of: List[int],
     perf: Optional[PerfCounters] = None,
+    backend: Optional[str] = None,
 ) -> CoarseLevel:
     """Contract ``hypergraph`` according to ``cluster_of``.
 
@@ -94,6 +95,16 @@ def coarsen(
     n = hypergraph.num_vertices
     if len(cluster_of) != n:
         raise ValueError("cluster_of length mismatch")
+    ks = _kernels(backend)
+    if ks is not None and n > 0 and max(cluster_of) < 2 * n:
+        # Dense-ish ids only (the same gate the interpreted path uses to
+        # pick the stamped remap array); sparse ids fall through to the
+        # dict-based renumbering below.  Negative ids are detected inside
+        # the kernel, which reports the first offending vertex so the
+        # error is identical to the interpreted path's.
+        level = _coarsen_kernel(hypergraph, cluster_of, ks, perf, t0)
+        if level is not None:
+            return level
     net_ptr, net_pins, _, _ = hypergraph.raw_csr
     vwt = hypergraph._vertex_weights
     net_weights = hypergraph._net_weights
@@ -213,3 +224,52 @@ def coarsen(
         perf.coarsen_nets_dropped += dropped
         perf.coarsen_seconds += time.perf_counter() - t0
     return CoarseLevel(fine=hypergraph, coarse=coarse, cluster_of=mapped)
+
+
+def _coarsen_kernel(
+    hypergraph: Hypergraph,
+    cluster_of: List[int],
+    ks,
+    perf: Optional[PerfCounters],
+    t0: float,
+) -> Optional[CoarseLevel]:
+    """Contract through a compiled backend kernel (bit-identical)."""
+    from repro.backends.flatcache import flat_csr
+
+    net_ptr, net_pins, _, _, vwt, net_w = flat_csr(hypergraph)
+    n = hypergraph.num_vertices
+    m = hypergraph.num_nets
+    cluster_np = _np.array(cluster_of, dtype=_np.int64)
+    mapped = _np.zeros(n, dtype=_np.int64)
+    weights = _np.zeros(n, dtype=_np.float64)
+    coarse_net_ptr = _np.zeros(m + 1, dtype=_np.int64)
+    coarse_pins = _np.zeros(net_pins.shape[0], dtype=_np.int64)
+    coarse_net_w = _np.zeros(m, dtype=_np.float64)
+    out = _np.zeros(6, dtype=_np.int64)
+    ks.contract(
+        net_ptr, net_pins, cluster_np, vwt, net_w,
+        mapped, weights, coarse_net_ptr, coarse_pins, coarse_net_w, out,
+    )
+    if out[5]:
+        v = int(out[0])
+        raise ValueError(
+            f"vertex {v} has negative cluster id {cluster_of[v]}"
+        )
+    num_coarse = int(out[0])
+    num_groups = int(out[1])
+    cpos = int(out[2])
+    coarse = Hypergraph.from_csr(
+        coarse_net_ptr[: num_groups + 1].tolist(),
+        coarse_pins[:cpos].tolist(),
+        num_vertices=num_coarse,
+        vertex_weights=weights[:num_coarse].tolist(),
+        net_weights=coarse_net_w[:num_groups].tolist(),
+    )
+    if perf is not None:
+        perf.coarsen_nets_projected += m
+        perf.coarsen_nets_merged += int(out[3])
+        perf.coarsen_nets_dropped += int(out[4])
+        perf.coarsen_seconds += time.perf_counter() - t0
+    return CoarseLevel(
+        fine=hypergraph, coarse=coarse, cluster_of=mapped.tolist()
+    )

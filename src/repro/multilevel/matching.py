@@ -41,6 +41,30 @@ from typing import List, Optional
 from repro.core.perf import PerfCounters
 from repro.hypergraph.hypergraph import Hypergraph
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+
+def _kernels(backend: Optional[str]):
+    """Resolve a backend request to a KernelSet (None = interpreted)."""
+    if _np is None:
+        return None
+    from repro.backends import active_kernels
+
+    return active_kernels(backend)[1]
+
+
+def _kernel_prep(hypergraph: Hypergraph, max_net_size: int, ks):
+    """Flat CSR arrays plus per-net scores for the matching kernels."""
+    from repro.backends.flatcache import flat_csr
+
+    net_ptr, net_pins, vtx_ptr, vtx_nets, vwt, net_w = flat_csr(hypergraph)
+    score = _np.empty(hypergraph.num_nets, dtype=_np.float64)
+    ks.net_scores(net_ptr, net_w, max_net_size, score)
+    return net_ptr, net_pins, vtx_ptr, vtx_nets, vwt, score
+
 
 class _Workspace:
     """Flat epoch-stamped scratch shared by the matching/contraction kernels.
@@ -162,6 +186,7 @@ def heavy_edge_matching(
     max_net_size: int = 40,
     fixed_parts: Optional[List[Optional[int]]] = None,
     perf: Optional[PerfCounters] = None,
+    backend: Optional[str] = None,
 ) -> List[int]:
     """Heavy-edge matching; returns a cluster id per vertex.
 
@@ -175,6 +200,33 @@ def heavy_edge_matching(
     n = hypergraph.num_vertices
     if max_cluster_weight is None:
         max_cluster_weight = _default_cluster_cap(hypergraph)
+    ks = _kernels(backend)
+    if ks is not None:
+        # The RNG draw stays on the Python side (one shuffle, exactly as
+        # below) so every backend consumes the same stream; the kernel
+        # replays the selection loop over the shuffled order.
+        from repro.backends.flatcache import encode_fixed
+
+        k_np, k_pins, k_vp, k_vn, k_vwt, score = _kernel_prep(
+            hypergraph, max_net_size, ks
+        )
+        order_np = _np.arange(n, dtype=_np.int64)
+        order_l = order_np.tolist()
+        rng.shuffle(order_l)
+        order_np[:] = order_l
+        use_fixed = 1 if fixed_parts is not None else 0
+        fixed = (encode_fixed(fixed_parts, n) if use_fixed
+                 else _np.empty(0, dtype=_np.int64))
+        cluster_np = _np.full(n, -1, dtype=_np.int64)
+        out = _np.zeros(2, dtype=_np.int64)
+        ks.hem_match(
+            k_np, k_pins, k_vp, k_vn, k_vwt, score, order_np,
+            fixed, use_fixed, 0, _np.empty(0, dtype=_np.int64),
+            float(max_cluster_weight), cluster_np, out,
+        )
+        if perf is not None:
+            perf.coarsen_neighbors_touched += int(out[1])
+        return cluster_np.tolist()
     net_ptr, net_pins, vtx_ptr, vtx_nets = hypergraph.raw_csr
     vwt = hypergraph._vertex_weights
     ws = _WS
@@ -242,6 +294,7 @@ def first_choice_clustering(
     max_net_size: int = 40,
     fixed_parts: Optional[List[Optional[int]]] = None,
     perf: Optional[PerfCounters] = None,
+    backend: Optional[str] = None,
 ) -> List[int]:
     """First-choice clustering; returns a cluster id per vertex.
 
@@ -252,6 +305,29 @@ def first_choice_clustering(
     n = hypergraph.num_vertices
     if max_cluster_weight is None:
         max_cluster_weight = _default_cluster_cap(hypergraph)
+    ks = _kernels(backend)
+    if ks is not None:
+        from repro.backends.flatcache import encode_fixed
+
+        k_np, k_pins, k_vp, k_vn, k_vwt, score = _kernel_prep(
+            hypergraph, max_net_size, ks
+        )
+        order_np = _np.arange(n, dtype=_np.int64)
+        order_l = order_np.tolist()
+        rng.shuffle(order_l)
+        order_np[:] = order_l
+        use_fixed = 1 if fixed_parts is not None else 0
+        fixed = (encode_fixed(fixed_parts, n) if use_fixed
+                 else _np.empty(0, dtype=_np.int64))
+        cluster_np = _np.full(n, -1, dtype=_np.int64)
+        out = _np.zeros(2, dtype=_np.int64)
+        ks.fc_cluster(
+            k_np, k_pins, k_vp, k_vn, k_vwt, score, order_np,
+            fixed, use_fixed, float(max_cluster_weight), cluster_np, out,
+        )
+        if perf is not None:
+            perf.coarsen_neighbors_touched += int(out[1])
+        return cluster_np.tolist()
     net_ptr, net_pins, vtx_ptr, vtx_nets = hypergraph.raw_csr
     vwt = hypergraph._vertex_weights
     ws = _WS
@@ -328,6 +404,7 @@ def hyperedge_coarsening(
     max_net_size: int = 40,
     fixed_parts: Optional[List[Optional[int]]] = None,
     perf: Optional[PerfCounters] = None,
+    backend: Optional[str] = None,
 ) -> List[int]:
     """hMetis-style hyperedge coarsening (HEC); returns cluster ids.
 
@@ -345,6 +422,32 @@ def hyperedge_coarsening(
     net_ptr, net_pins, _, _ = hypergraph.raw_csr
     vwt = hypergraph._vertex_weights
     net_weights = hypergraph._net_weights
+    ks = _kernels(backend)
+    if ks is not None:
+        # Shuffle and the heaviest-first stable sort stay on the Python
+        # side (same RNG stream, same tie order); the kernel replays the
+        # contraction loop over the resulting net order.
+        from repro.backends.flatcache import encode_fixed, flat_csr
+
+        k_np, k_pins, _, _, k_vwt, _ = flat_csr(hypergraph)
+        order = list(hypergraph.nets())
+        rng.shuffle(order)
+        order.sort(
+            key=lambda e: (-net_weights[e], net_ptr[e + 1] - net_ptr[e])
+        )
+        order_np = _np.array(order, dtype=_np.int64)
+        use_fixed = 1 if fixed_parts is not None else 0
+        fixed = (encode_fixed(fixed_parts, n) if use_fixed
+                 else _np.empty(0, dtype=_np.int64))
+        cluster_np = _np.full(n, -1, dtype=_np.int64)
+        out = _np.zeros(2, dtype=_np.int64)
+        ks.hec_contract(
+            k_np, k_pins, k_vwt, order_np, fixed, use_fixed,
+            float(max_cluster_weight), max_net_size, cluster_np, out,
+        )
+        if perf is not None:
+            perf.coarsen_neighbors_touched += int(out[1])
+        return cluster_np.tolist()
     cluster = [-1] * n
     order = list(hypergraph.nets())
     rng.shuffle(order)
@@ -402,6 +505,7 @@ def restricted_matching(
     max_cluster_weight: Optional[float] = None,
     max_net_size: int = 40,
     perf: Optional[PerfCounters] = None,
+    backend: Optional[str] = None,
 ) -> List[int]:
     """Partition-respecting matching for V-cycling (Karypis et al.).
 
@@ -412,6 +516,26 @@ def restricted_matching(
     n = hypergraph.num_vertices
     if max_cluster_weight is None:
         max_cluster_weight = _default_cluster_cap(hypergraph)
+    ks = _kernels(backend)
+    if ks is not None:
+        k_np, k_pins, k_vp, k_vn, k_vwt, score = _kernel_prep(
+            hypergraph, max_net_size, ks
+        )
+        order_np = _np.arange(n, dtype=_np.int64)
+        order_l = order_np.tolist()
+        rng.shuffle(order_l)
+        order_np[:] = order_l
+        assign_np = _np.array(assignment, dtype=_np.int64)
+        cluster_np = _np.full(n, -1, dtype=_np.int64)
+        out = _np.zeros(2, dtype=_np.int64)
+        ks.hem_match(
+            k_np, k_pins, k_vp, k_vn, k_vwt, score, order_np,
+            _np.empty(0, dtype=_np.int64), 0, 1, assign_np,
+            float(max_cluster_weight), cluster_np, out,
+        )
+        if perf is not None:
+            perf.coarsen_neighbors_touched += int(out[1])
+        return cluster_np.tolist()
     net_ptr, net_pins, vtx_ptr, vtx_nets = hypergraph.raw_csr
     vwt = hypergraph._vertex_weights
     ws = _WS

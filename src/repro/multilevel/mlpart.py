@@ -38,6 +38,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core._seed_engine import SeedFMEngine
@@ -84,6 +85,12 @@ class MLConfig:
         matching proposals merged deterministically — bit-identical to
         serial at any value; see :mod:`repro.multilevel.parallel`).
         1 keeps the serial kernels.
+    backend:
+        Kernel backend for refinement, matching and contraction
+        (``None`` = process default / ``REPRO_BACKEND`` / numpy; see
+        :mod:`repro.backends`).  ``fm_config.backend`` takes precedence
+        when both are set.  Every registered backend is bit-identical
+        to numpy, so this knob changes wall-clock only.
     """
 
     fm_config: FMConfig = FMConfig()
@@ -94,6 +101,7 @@ class MLConfig:
     clustering: str = "heavy_edge"
     vcycles: int = 0
     inrun_workers: int = 1
+    backend: Optional[str] = None
 
     def describe(self) -> str:
         """Short tag, e.g. ``ML CLIP/nonzero/away/lifo``."""
@@ -121,6 +129,11 @@ class MLPartitioner:
         Overrides ``config.inrun_workers`` when given: in-run parallel
         workers for hierarchy construction (bit-identical to serial;
         clamped to 1 inside daemonic pool workers and in oracle mode).
+    backend:
+        Overrides the configured kernel backend when given (explicit
+        argument > ``fm_config.backend`` > ``config.backend`` > process
+        default).  Bit-identical across backends; oracle mode ignores
+        it (the frozen seed code has no kernels).
     """
 
     def __init__(
@@ -130,10 +143,18 @@ class MLPartitioner:
         name: Optional[str] = None,
         oracle: bool = False,
         inrun_workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.config = config if config is not None else MLConfig()
         self.tolerance = tolerance
         self.oracle = oracle
+        if backend is None:
+            backend = self.config.fm_config.backend
+        if backend is None:
+            backend = getattr(self.config, "backend", None)
+        #: Resolved backend request threaded into every engine,
+        #: matching and contraction call (None = process default).
+        self.backend = backend
         if inrun_workers is None:
             inrun_workers = getattr(self.config, "inrun_workers", 1)
         if inrun_workers < 1:
@@ -193,8 +214,12 @@ class MLPartitioner:
                 SeedFMEngine(balance, refine_cfg, rng),
             )
         if self._refine_engine is None:
-            self._init_engine = FMEngine(balance, cfg.fm_config, rng)
-            self._refine_engine = FMEngine(balance, refine_cfg, rng)
+            self._init_engine = FMEngine(
+                balance, cfg.fm_config, rng, backend=self.backend
+            )
+            self._refine_engine = FMEngine(
+                balance, refine_cfg, rng, backend=self.backend
+            )
         else:
             self._init_engine.balance = balance
             self._init_engine.rng = rng
@@ -318,6 +343,7 @@ class MLPartitioner:
                     get_inrun_pool(effective),
                     fixed_parts=fixed,
                     perf=self.perf,
+                    backend=self.backend,
                 )
         return build_hierarchy(
             hypergraph,
@@ -326,6 +352,7 @@ class MLPartitioner:
             fixed_parts=fixed,
             oracle=self.oracle,
             perf=self.perf,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------
@@ -398,7 +425,8 @@ class MLPartitioner:
             match, contract = _oracle.seed_restricted_matching, _oracle.seed_coarsen
             make_part = Partition2
         else:
-            match, contract = restricted_matching, coarsen
+            match = partial(restricted_matching, backend=self.backend)
+            contract = partial(coarsen, backend=self.backend)
             make_part = Partition2.fast
         levels: List[CoarseLevel] = []
         fixed_per_level: List[List[bool]] = []

@@ -67,6 +67,7 @@ from repro.multilevel.matching import (
 )
 from repro.multilevel.pool import (
     Hierarchy,
+    config_backend,
     hierarchy_seed,
     project_fixed,
     supports_hierarchy,
@@ -688,15 +689,20 @@ def build_hierarchy_parallel(
     fixed_parts: Optional[Sequence[Optional[int]]] = None,
     perf: Optional[PerfCounters] = None,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Hierarchy:
     """Parallel-proposal counterpart of
     :func:`~repro.multilevel.pool.build_hierarchy` (kernel path only —
     the frozen oracle stays serial by definition).  Level guards,
     fixed-side projection and contraction are shared code; only the
     clustering pass differs, and it is bit-identical, so the returned
-    hierarchy equals the serial one level for level.
+    hierarchy equals the serial one level for level.  ``backend``
+    selects the contraction kernel (the chunked proposal/merge passes
+    stay interpreted — they are already fanned out across workers).
     """
     t0 = time.perf_counter() if perf is not None else 0.0
+    if backend is None:
+        backend = config_backend(config)
     levels: List[Tuple[object, Optional[List[Optional[int]]]]] = []
     hg = hypergraph
     # Truthiness on purpose — must agree with build_hierarchy (see its
@@ -706,7 +712,7 @@ def build_hierarchy_parallel(
         cluster = parallel_clustering(
             config.clustering, hg, rng, pool, fixed_parts=fixed, perf=perf
         )
-        level = coarsen(hg, cluster, perf=perf)
+        level = coarsen(hg, cluster, perf=perf, backend=backend)
         if level.coarse.num_vertices >= hg.num_vertices:
             break  # stall guard, same as build_hierarchy
         if level.coarse.num_vertices > hg.num_vertices / config.min_reduction:

@@ -146,6 +146,22 @@ def project_fixed(level, fixed) -> Optional[List[Optional[int]]]:
     return coarse_fixed
 
 
+def config_backend(config) -> Optional[str]:
+    """Kernel-backend request carried by a coarsening ``config``.
+
+    ``fm_config.backend`` wins over the multilevel-level ``backend`` —
+    the same precedence :class:`~repro.multilevel.mlpart.MLPartitioner`
+    applies — so pooled and standalone builds resolve identically.
+    Configs that predate the backend registry simply resolve to
+    ``None`` (process default).
+    """
+    fm = getattr(config, "fm_config", None)
+    backend = getattr(fm, "backend", None)
+    if backend is None:
+        backend = getattr(config, "backend", None)
+    return backend
+
+
 def _cluster_fn(clustering: str, oracle: bool):
     if oracle:
         table = {
@@ -173,6 +189,7 @@ def build_hierarchy(
     oracle: bool = False,
     perf: Optional[PerfCounters] = None,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Hierarchy:
     """Coarsen ``hypergraph`` until small; returns the full hierarchy.
 
@@ -181,6 +198,10 @@ def build_hierarchy(
     object with those attributes).  ``oracle=True`` uses the frozen seed
     matching/contraction code instead of the kernels — the reference
     path the equivalence tests and ``repro bench ml`` compare against.
+    ``backend`` selects the kernel backend for matching/contraction
+    (``None`` reads it off ``config`` via :func:`config_backend`);
+    every backend is bit-identical, so the hierarchy never depends on
+    it.
 
     Coarsening stops at ``coarsest_size``, when a level shrinks by less
     than ``min_reduction``, or — the stall guard — when a level fails to
@@ -191,6 +212,8 @@ def build_hierarchy(
     t0 = time.perf_counter() if perf is not None else 0.0
     cluster_fn = _cluster_fn(config.clustering, oracle)
     contract = _oracle.seed_coarsen if oracle else coarsen
+    if backend is None:
+        backend = config_backend(config)
     levels: List[Tuple[object, Optional[List[Optional[int]]]]] = []
     hg = hypergraph
     # Truthiness (not None-ness) on purpose: MLPartitioner.partition
@@ -202,8 +225,10 @@ def build_hierarchy(
             cluster = cluster_fn(hg, rng, fixed_parts=fixed)
             level = contract(hg, cluster)
         else:
-            cluster = cluster_fn(hg, rng, fixed_parts=fixed, perf=perf)
-            level = contract(hg, cluster, perf=perf)
+            cluster = cluster_fn(
+                hg, rng, fixed_parts=fixed, perf=perf, backend=backend
+            )
+            level = contract(hg, cluster, perf=perf, backend=backend)
         if level.coarse.num_vertices >= hg.num_vertices:
             break  # stall: no progress at all (see docstring)
         if level.coarse.num_vertices > hg.num_vertices / config.min_reduction:
@@ -255,6 +280,7 @@ class HierarchyPool:
         oracle: bool = False,
         perf: Optional[PerfCounters] = None,
         inrun_workers: int = 1,
+        backend: Optional[str] = None,
     ) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1")
@@ -268,6 +294,7 @@ class HierarchyPool:
         self.oracle = oracle
         self.perf = perf if perf is not None else PerfCounters()
         self.inrun_workers = inrun_workers
+        self.backend = backend if backend is not None else config_backend(config)
         self._hierarchies: List[Optional[Hierarchy]] = [None] * size
         self._build_lock = threading.Lock()
 
@@ -291,6 +318,7 @@ class HierarchyPool:
                     fixed_parts=self.fixed_parts,
                     perf=self.perf,
                     seed=seed,
+                    backend=self.backend,
                 )
         return build_hierarchy(
             self.hypergraph,
@@ -300,6 +328,7 @@ class HierarchyPool:
             oracle=self.oracle,
             perf=self.perf,
             seed=seed,
+            backend=self.backend,
         )
 
     def get(self, start_index: int) -> Hierarchy:
@@ -385,6 +414,7 @@ def run_multistart_pooled(
             base_seed=base_seed,
             fixed_parts=fixed_parts,
             oracle=getattr(partitioner, "oracle", False),
+            backend=getattr(partitioner, "backend", None),
         )
     elif pool.hypergraph is not hypergraph:
         raise ValueError("pool was built for a different hypergraph")

@@ -72,6 +72,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.backends import set_default_backend, warmup
 from repro.core.multistart import Bipartitioner
 from repro.core.perf import PerfCounters
 from repro.hypergraph.hypergraph import Hypergraph
@@ -116,7 +117,12 @@ def _pool_context() -> mp.context.BaseContext:
 
 
 def _perf_to_wire(perf: PerfCounters) -> Dict[str, float]:
-    return {name: getattr(perf, name) for name in _PERF_WIRE_FIELDS}
+    wire = {name: getattr(perf, name) for name in _PERF_WIRE_FIELDS}
+    if perf.backend:
+        # String field, shipped only when stamped so pre-backend wire
+        # consumers see an unchanged message shape.
+        wire["backend"] = perf.backend
+    return wire
 
 
 def _perf_from_wire(wire: Dict[str, float]) -> PerfCounters:
@@ -134,6 +140,26 @@ def _merge_perf(
     if totals is None or wire is None:
         return
     totals.setdefault(heuristic, PerfCounters()).merge(_perf_from_wire(wire))
+
+
+def _requested_backends(heuristics, backend: Optional[str]) -> List[str]:
+    """Every distinct backend this execution context can reach: the
+    executor-level request plus any carried by heuristic configs.  All
+    of them are warmed at payload-attach so JIT compilation never leaks
+    into a trial runtime (the first-trial timing-skew fix)."""
+    names: List[str] = []
+
+    def add(name: Optional[str]) -> None:
+        if name is not None and name not in names:
+            names.append(name)
+
+    add(backend)
+    for h in heuristics.values():
+        add(getattr(h, "backend", None))
+        cfg = getattr(h, "config", None)
+        add(getattr(cfg, "backend", None))
+        add(getattr(getattr(cfg, "fm_config", None), "backend", None))
+    return names
 
 
 # ----------------------------------------------------------------------
@@ -161,12 +187,31 @@ class _TrialExecutor:
         zero_copy: bool = False,
         collect_perf: bool = False,
         inrun_workers: int = 1,
+        backend: Optional[str] = None,
     ) -> None:
         self.heuristics = heuristics
         self.fixed_parts = fixed_parts
         self.sticky_cache = sticky_cache
         self.sticky_pool_size = sticky_pool_size
         self.zero_copy = zero_copy
+        #: Kernel backend for this execution context.  Applied as the
+        #: process default so heuristics whose configs predate the
+        #: registry still pick it up (workers re-apply it from the spawn
+        #: payload — a spawned process has no inherited default).
+        self.backend = backend
+        if backend is not None:
+            set_default_backend(backend)
+        # Warm every reachable backend now, at payload-attach: JIT
+        # compilation and the activation self-check are charged to
+        # ``compile_seconds`` (folded into the first collected trial's
+        # counters below), never to a trial's runtime.
+        self._backend_name = ""
+        self._compile_pending = 0.0
+        for name in _requested_backends(heuristics, backend) or [None]:
+            resolved, compile_seconds = warmup(name)
+            self._compile_pending += compile_seconds
+            if not self._backend_name or name == backend:
+                self._backend_name = resolved
         #: In-run parallel workers for sticky hierarchy builds.  Safe to
         #: carry anywhere: HierarchyPool clamps to the serial path in
         #: daemonic pool workers, and parallel builds are bit-identical.
@@ -218,6 +263,9 @@ class _TrialExecutor:
         key = (plan.heuristic, plan.instance, base_seed)
         pool = self._pools.get(key)
         if pool is None:
+            pool_backend = getattr(partitioner, "backend", None)
+            if pool_backend is None:
+                pool_backend = self.backend
             pool = HierarchyPool(
                 hg,
                 partitioner.config,
@@ -226,6 +274,7 @@ class _TrialExecutor:
                 fixed_parts=fp,
                 oracle=getattr(partitioner, "oracle", False),
                 inrun_workers=self.inrun_workers,
+                backend=pool_backend,
             )
             self._pools[key] = pool
         if perf is not None:
@@ -281,6 +330,15 @@ class _TrialExecutor:
                 counters = getattr(engine_result, "perf", None)
                 if counters is not None:
                     perf.merge(counters)
+            if self._compile_pending:
+                # One-time warm-up cost, charged to the first collected
+                # trial's counters (and so to perf.json) — never to
+                # ``elapsed``, which the journal records as the trial
+                # runtime.
+                perf.compile_seconds += self._compile_pending
+                self._compile_pending = 0.0
+            if not perf.backend:
+                perf.backend = self._backend_name
         payload = (
             result.cut,
             elapsed,
@@ -303,12 +361,15 @@ def build_payload(
     zero_copy: bool = False,
     collect_perf: bool = False,
     inrun_workers: int = 1,
+    backend: Optional[str] = None,
 ) -> bytes:
     """Serialize one execution context (heuristics, instance handles and
     cache knobs) into the once-pickled spawn payload a worker consumes
     via :func:`executor_from_payload`.  Shared by the campaign pool, the
     multi-tenant service fleet and the in-run fan-out pool, so all three
-    hand workers identical contexts."""
+    hand workers identical contexts.  ``backend`` rides the payload so
+    every worker re-applies the kernel-backend default and pays JIT
+    warm-up at attach time, not inside its first trial."""
     return pickle.dumps(
         (
             heuristics,
@@ -319,6 +380,7 @@ def build_payload(
             zero_copy,
             collect_perf,
             inrun_workers,
+            backend,
         ),
         protocol=pickle.HIGHEST_PROTOCOL,
     )
@@ -336,6 +398,7 @@ def executor_from_payload(payload_blob: bytes) -> "_TrialExecutor":
         zero_copy,
         collect_perf,
         inrun_workers,
+        backend,
     ) = pickle.loads(payload_blob)
     return _TrialExecutor(
         heuristics,
@@ -346,6 +409,7 @@ def executor_from_payload(payload_blob: bytes) -> "_TrialExecutor":
         zero_copy=zero_copy,
         collect_perf=collect_perf,
         inrun_workers=inrun_workers,
+        backend=backend,
     )
 
 
@@ -513,6 +577,11 @@ class ExecutionPolicy:
     #: fair-share clamping — ``workers x inrun_workers`` never exceeds
     #: the fleet — and is bit-identical to serial at any value.
     inrun_workers: int = 1
+    #: Kernel backend for every trial (None = process default /
+    #: ``REPRO_BACKEND`` / numpy).  Like the dispatch knobs this tunes
+    #: only where time goes: backends are selectable solely when
+    #: bit-identical to numpy, so records never depend on it.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -619,6 +688,7 @@ def _execute_inline(trials, heuristics, instances, fixed_parts, policy,
         sticky_pool_size=policy.sticky_pool_size,
         collect_perf=perf_totals is not None,
         inrun_workers=policy.inrun_effective,
+        backend=policy.backend,
     )
     outcomes: List[TrialOutcome] = []
     for plan in trials:
@@ -696,6 +766,7 @@ def _execute_pool(trials, heuristics, instances, fixed_parts, policy,
         zero_copy=policy.zero_copy,
         collect_perf=perf_totals is not None,
         inrun_workers=policy.inrun_effective,
+        backend=policy.backend,
     )
     spawn = lambda: _Worker(ctx, result_q, payload_blob)
 

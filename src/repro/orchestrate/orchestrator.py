@@ -211,6 +211,7 @@ def orchestrate_campaign(
     use_shared_memory: bool = True,
     zero_copy: bool = False,
     inrun_workers: int = 1,
+    backend: Optional[str] = None,
     fixed_parts: Optional[Dict[str, Sequence[Optional[int]]]] = None,
     progress: Optional[ProgressCallback] = None,
     resume: bool = False,
@@ -221,7 +222,8 @@ def orchestrate_campaign(
     ``store_dir`` is the *parent* directory; the journal lives in
     ``store_dir/<spec.name>/`` (matching ``CampaignResult.save``).
     Without a store the campaign runs purely in memory (no resume).
-    The dispatch knobs (``batch_size`` .. ``zero_copy``) map onto
+    The dispatch knobs (``batch_size`` .. ``zero_copy`` and
+    ``backend``) map onto
     :class:`~repro.orchestrate.executor.ExecutionPolicy` and never
     change results — only where the time goes.
     """
@@ -239,6 +241,7 @@ def orchestrate_campaign(
             use_shared_memory=use_shared_memory,
             zero_copy=zero_copy,
             inrun_workers=inrun_workers,
+            backend=backend,
         ),
         fixed_parts=fixed_parts,
         progress=progress,

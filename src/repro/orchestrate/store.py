@@ -232,12 +232,18 @@ class RunStore:
             acc = merged.setdefault(heuristic, PerfCounters())
             acc.merge(perf)
         payload = {
-            name: {
-                field_name: getattr(perf, field_name)
-                for field_name in (
-                    PerfCounters.COUNT_FIELDS + PerfCounters.TIMING_FIELDS
-                )
-            }
+            name: dict(
+                {
+                    field_name: getattr(perf, field_name)
+                    for field_name in (
+                        PerfCounters.COUNT_FIELDS + PerfCounters.TIMING_FIELDS
+                    )
+                },
+                # The backend tag is a string ("mixed" after merging
+                # different backends), so it rides outside the numeric
+                # field tuples.
+                backend=perf.backend,
+            )
             for name, perf in sorted(merged.items())
         }
         tmp = self.perf_path.with_suffix(".json.tmp")

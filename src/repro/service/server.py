@@ -210,6 +210,7 @@ class CampaignService:
                 inrun_workers=clamp_inrun_workers(
                     spec.inrun_workers, trial_workers=fleet, fleet=fleet
                 ),
+                backend=spec.backend,
             )
             job = ServiceJob(
                 job_id=job_id,

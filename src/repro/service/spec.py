@@ -172,6 +172,11 @@ class JobSpec:
     #: value is bit-identical to serial, so clamping never changes
     #: records.
     inrun_workers: int = 1
+    #: Kernel backend for this job's trials (None = worker default).
+    #: Backends are selectable only when bit-identical to numpy, so the
+    #: choice never changes records — it is also emitted to the wire
+    #: only when set, keeping pre-backend spec fingerprints stable.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -261,6 +266,9 @@ class JobSpec:
             # pre-scenario wire form (and therefore their fingerprints,
             # which job ids and resume-after-restart paths embed).
             out["scenarios"] = [s.to_json() for s in self.scenarios]
+        if self.backend is not None:
+            # Same fingerprint-stability contract as ``scenarios``.
+            out["backend"] = self.backend
         return out
 
     @staticmethod
@@ -286,4 +294,8 @@ class JobSpec:
             sticky_cache=bool(data.get("sticky_cache", False)),
             sticky_pool_size=int(data.get("sticky_pool_size", 2)),
             inrun_workers=int(data.get("inrun_workers", 1)),
+            backend=(
+                None if data.get("backend") is None
+                else str(data["backend"])
+            ),
         )

@@ -1,0 +1,475 @@
+"""Backend registry behaviour: resolution, fallback, self-check, and
+the warm-up accounting contract.
+
+The bit-identity of each backend's *kernels* is pinned by the sweeps in
+``test_kernel_equivalence.py`` / ``test_coarsen_equivalence.py`` /
+``test_eval_equivalence.py``; this module tests the machinery around
+them:
+
+* resolution order (explicit > process default > ``REPRO_BACKEND`` >
+  numpy) and the ``auto`` alias;
+* the silent-fallback contract — requesting an unavailable backend
+  (e.g. numba on an install without numba) runs the interpreted paths
+  with the reason recorded, never raises, and produces records
+  identical to a plain run on every execution plane;
+* the activation self-check rejecting a divergent kernel set;
+* honest JIT warm-up accounting — compile time charged to
+  ``PerfCounters.compile_seconds`` at payload-attach, never leaking
+  into trial runtimes;
+* ``PerfCounters.backend`` merge semantics and the JobSpec wire
+  stability contract for the ``backend`` field.
+"""
+
+import random
+import sys
+
+import pytest
+
+from repro.backends import (
+    BACKEND_NAMES,
+    ENV_VAR,
+    KernelSet,
+    active_kernels,
+    backend_status,
+    get_backend,
+    resolution_generation,
+    resolve_backend,
+    set_default_backend,
+    warmup,
+)
+from repro.backends import registry as registry_mod
+from repro.core import BalanceConstraint, FMConfig, FMEngine, FMPartitioner, Partition2
+from repro.core.perf import PerfCounters
+from repro.instances import generate_circuit
+
+
+@pytest.fixture(autouse=True)
+def clean_registry(monkeypatch):
+    """Isolate resolution state: no inherited env/default, and any
+    default a test sets is dropped afterwards.  The activation cache is
+    left alone (activations are immutable facts about this install)
+    except for tests that explicitly reset entries, which re-probe."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    set_default_backend(None)
+    yield
+    set_default_backend(None)
+
+
+def _available():
+    return [
+        name
+        for name in BACKEND_NAMES
+        if name != "numpy" and get_backend(name).available
+    ]
+
+
+# ----------------------------------------------------------------------
+# Resolution order
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_default_is_numpy(self):
+        assert resolve_backend() == ("numpy", "")
+        name, kernels, note = active_kernels()
+        assert (name, kernels, note) == ("numpy", None, "")
+
+    def test_explicit_beats_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "flatref")
+        assert resolve_backend()[0] == "flatref"
+        set_default_backend("numpy")
+        assert resolve_backend()[0] == "numpy"
+        set_default_backend("flatref")
+        assert resolve_backend()[0] == "flatref"
+        assert resolve_backend("numpy") == ("numpy", "")
+
+    def test_empty_env_means_numpy(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "")
+        assert resolve_backend() == ("numpy", "")
+
+    def test_unknown_name_falls_back_with_reason(self):
+        name, note = resolve_backend("fortran77")
+        assert name == "numpy"
+        assert "fortran77" in note and "unknown" in note
+
+    def test_unavailable_falls_back_with_reason(self):
+        # cython is registered but never built in this distribution.
+        name, note = resolve_backend("cython")
+        assert name == "numpy"
+        assert "cython" in note
+        assert get_backend("cython").reason in note
+
+    def test_auto_prefers_compiled_else_numpy(self):
+        name, note = resolve_backend("auto")
+        compiled = [
+            b for b in registry_mod._AUTO_ORDER if get_backend(b).available
+        ]
+        if compiled:
+            assert name == compiled[0]
+            assert note == ""
+        else:
+            assert name == "numpy"
+            assert "auto" in note
+
+    def test_flatref_always_available(self):
+        info = get_backend("flatref")
+        assert info.available
+        assert info.kernels is not None
+        assert not info.compiled  # interpreted reference, not a build
+
+    def test_status_covers_every_registered_backend(self):
+        status = backend_status()
+        assert [row["name"] for row in status] == list(BACKEND_NAMES)
+        for row in status:
+            if not row["available"]:
+                assert row["reason"]
+
+    def test_generation_bumps_on_default_and_reset(self):
+        g0 = resolution_generation()
+        set_default_backend("flatref")
+        g1 = resolution_generation()
+        assert g1 > g0
+        registry_mod.reset("flatref")
+        assert resolution_generation() > g1
+        get_backend("flatref")  # re-probe so later tests see it cached
+
+
+# ----------------------------------------------------------------------
+# Warm-up accounting (registry level)
+# ----------------------------------------------------------------------
+class TestWarmup:
+    def test_numpy_warmup_is_free(self):
+        assert warmup("numpy") == ("numpy", 0.0)
+        assert warmup(None) == ("numpy", 0.0)
+
+    def test_second_warmup_never_double_bills(self):
+        for name in _available():
+            warmup(name)  # ensure activated (maybe billed here)
+            resolved, seconds = warmup(name)
+            assert resolved == name
+            assert seconds == 0.0
+
+    def test_cold_warmup_bills_once(self):
+        for name in _available():
+            if not get_backend(name).compiled:
+                continue  # flatref: nothing to compile
+            registry_mod.reset(name)
+            resolved, seconds = warmup(name)
+            assert resolved == name
+            assert seconds > 0.0
+            assert seconds == get_backend(name).compile_seconds
+
+
+# ----------------------------------------------------------------------
+# Self-check: a divergent kernel set must be unselectable
+# ----------------------------------------------------------------------
+class TestSelfCheck:
+    def test_selfcheck_accepts_reference(self):
+        from repro.backends import flatref
+        from repro.backends.selfcheck import run_selfcheck
+
+        run_selfcheck(KernelSet("flatref", flatref))
+
+    def test_selfcheck_rejects_corrupted_fm_pass(self):
+        from repro.backends import flatref
+        from repro.backends.selfcheck import run_selfcheck
+
+        class Corrupted:
+            pass
+
+        for attr in KernelSet.__slots__:
+            if attr == "name":
+                continue
+            setattr(Corrupted, attr, staticmethod(getattr(flatref, attr)))
+
+        def broken_fm_pass(*args):
+            flatref.fm_pass(*args)
+            # Flip the kept-prefix length (``out[1]``): a plausible
+            # off-by-one in a hand-written kernel.
+            out = args[-1]
+            out[1] += 1
+
+        Corrupted.fm_pass = staticmethod(broken_fm_pass)
+        with pytest.raises(Exception):
+            run_selfcheck(KernelSet("corrupted", Corrupted))
+
+
+# ----------------------------------------------------------------------
+# Fallback: blocked numba import degrades silently to numpy
+# ----------------------------------------------------------------------
+class TestNumbaFallback:
+    @pytest.fixture
+    def no_numba(self, monkeypatch):
+        """Force numba activation failure even where numba is
+        installed: poison the import, drop cached module + activation,
+        and re-probe cleanly afterwards."""
+        monkeypatch.setitem(sys.modules, "numba", None)
+        monkeypatch.delitem(
+            sys.modules, "repro.backends.numba_backend", raising=False
+        )
+        registry_mod.reset("numba")
+        yield
+        monkeypatch.undo()
+        registry_mod.reset("numba")
+        get_backend("numba")
+
+    def test_unavailable_with_recorded_reason(self, no_numba):
+        info = get_backend("numba")
+        assert not info.available
+        assert info.reason
+        name, note = resolve_backend("numba")
+        assert name == "numpy"
+        assert "numba" in note
+
+    def test_engine_runs_interpreted_with_note(self, no_numba):
+        hg = generate_circuit(60, seed=1)
+        bal = BalanceConstraint(hg.total_vertex_weight, 0.2)
+        base = Partition2.random_balanced(hg, bal, random.Random(0))
+        eng_ref = FMEngine(bal, FMConfig(max_passes=2), random.Random(7),
+                           record_moves=True, backend="numpy")
+        eng_nb = FMEngine(bal, FMConfig(max_passes=2), random.Random(7),
+                          record_moves=True, backend="numba")
+        p_ref, p_nb = base.copy(), base.copy()
+        r_ref = eng_ref.refine(p_ref)
+        r_nb = eng_nb.refine(p_nb)
+        assert eng_nb._backend_name == "numpy"
+        assert "numba" in eng_nb._backend_note
+        assert r_nb.final_cut == r_ref.final_cut
+        assert p_nb.assignment == p_ref.assignment
+        for s_nb, s_ref in zip(r_nb.pass_stats, r_ref.pass_stats):
+            assert s_nb.move_log == s_ref.move_log
+
+    def test_campaign_records_identical_on_all_planes(self, no_numba,
+                                                      tmp_path):
+        from repro.evaluation import CampaignSpec
+        from repro.orchestrate import orchestrate_campaign
+
+        hg = generate_circuit(60, seed=7)
+
+        def run(tag, **kwargs):
+            spec = CampaignSpec(
+                name=f"fb-{tag}",
+                heuristics=[FMPartitioner(tolerance=0.1, name="fm10")],
+                instances={"c60": hg},
+                num_starts=3,
+            )
+            result = orchestrate_campaign(
+                spec, store_dir=tmp_path / tag, **kwargs
+            )
+            return [
+                (r.heuristic, r.instance, r.seed, r.cut, r.legal)
+                for r in result.records
+            ]
+
+        plain = run("plain")
+        assert run("serial", backend="numba") == plain
+        assert run("pool", backend="numba", workers=2,
+                   use_shared_memory=False) == plain
+        assert run("batched", backend="numba", workers=2, batch_size=2,
+                   use_shared_memory=False) == plain
+        assert run("inrun", backend="numba", inrun_workers=2) == plain
+        # Sticky caching draws hierarchy seeds from the pooled stream,
+        # so its reference is a sticky run without the backend request.
+        sticky = run("sticky-ref", sticky_cache=True)
+        assert run("sticky", backend="numba", sticky_cache=True) == sticky
+
+
+# ----------------------------------------------------------------------
+# Engine re-resolution: cached engines follow the process default
+# ----------------------------------------------------------------------
+class TestEngineResolution:
+    def test_reused_engine_follows_default_backend(self):
+        hg = generate_circuit(60, seed=2)
+        bal = BalanceConstraint(hg.total_vertex_weight, 0.2)
+        eng = FMEngine(bal, FMConfig(max_passes=1), random.Random(1))
+        part = Partition2.random_balanced(hg, bal, random.Random(3))
+        eng.refine(part.copy())
+        assert eng._backend_name == "numpy"
+        for name in _available():
+            set_default_backend(name)
+            eng.refine(part.copy())
+            assert eng._backend_name == name, (
+                "engine kept a stale kernel resolution across "
+                "set_default_backend"
+            )
+        set_default_backend(None)
+        eng.refine(part.copy())
+        assert eng._backend_name == "numpy"
+
+    def test_explicit_engine_backend_wins_over_default(self):
+        hg = generate_circuit(60, seed=2)
+        bal = BalanceConstraint(hg.total_vertex_weight, 0.2)
+        part = Partition2.random_balanced(hg, bal, random.Random(3))
+        set_default_backend("flatref")
+        eng = FMEngine(bal, FMConfig(max_passes=1), random.Random(1),
+                       backend="numpy")
+        eng.refine(part.copy())
+        assert eng._backend_name == "numpy"
+
+
+# ----------------------------------------------------------------------
+# Warm-up accounting (executor level): the timing-skew regression
+# ----------------------------------------------------------------------
+class TestWarmupAccounting:
+    def test_compile_charged_to_perf_not_trial_runtime(self, tmp_path,
+                                                       monkeypatch):
+        """A slow warm-up must surface as ``compile_seconds`` exactly
+        once and never inflate any trial's journalled runtime."""
+        from repro.evaluation import CampaignSpec
+        from repro.orchestrate import executor as executor_mod
+        from repro.orchestrate import orchestrate_campaign
+        from repro.orchestrate.store import RunStore
+
+        fake_cost = 7.25  # far above any real trial at this scale
+
+        def fake_warmup(explicit=None):
+            return "fakejit", fake_cost
+
+        monkeypatch.setattr(executor_mod, "warmup", fake_warmup)
+        hg = generate_circuit(60, seed=7)
+        spec = CampaignSpec(
+            name="warm",
+            heuristics=[FMPartitioner(tolerance=0.1, name="fm10")],
+            instances={"c60": hg},
+            num_starts=3,
+        )
+        orchestrate_campaign(spec, store_dir=tmp_path)
+        store = RunStore(tmp_path / "warm")
+        totals = store.load_perf()
+        # The engine stamps the backend that actually executed (the
+        # fake warm-up activated nothing, so the interpreted paths ran);
+        # the warm-up bill still lands in compile_seconds, exactly once.
+        assert totals["fm10"].backend == "numpy"
+        assert totals["fm10"].compile_seconds == fake_cost
+        for outcome in store.outcomes():
+            assert outcome.ok
+            assert outcome.runtime_seconds < fake_cost
+
+    def test_real_backend_stamps_perf_json(self, tmp_path):
+        from repro.evaluation import CampaignSpec
+        from repro.orchestrate import orchestrate_campaign
+        from repro.orchestrate.store import RunStore
+
+        backends = _available()
+        if not backends:
+            pytest.skip("no non-numpy backend available on this install")
+        backend = backends[-1]
+        hg = generate_circuit(60, seed=7)
+        spec = CampaignSpec(
+            name="stamp",
+            heuristics=[FMPartitioner(tolerance=0.1, name="fm10")],
+            instances={"c60": hg},
+            num_starts=2,
+        )
+        orchestrate_campaign(spec, store_dir=tmp_path, backend=backend)
+        totals = RunStore(tmp_path / "stamp").load_perf()
+        assert totals["fm10"].backend == backend
+
+
+# ----------------------------------------------------------------------
+# PerfCounters backend field
+# ----------------------------------------------------------------------
+class TestPerfBackendField:
+    def test_merge_adopts_then_mixes(self):
+        a = PerfCounters()
+        b = PerfCounters()
+        b.backend = "cnative"
+        b.compile_seconds = 1.5
+        a.merge(b)
+        assert a.backend == "cnative"
+        assert a.compile_seconds == 1.5
+        c = PerfCounters()
+        c.backend = "cnative"
+        a.merge(c)
+        assert a.backend == "cnative"
+        d = PerfCounters()
+        d.backend = "numpy"
+        d.compile_seconds = 0.5
+        a.merge(d)
+        assert a.backend == "mixed"
+        assert a.compile_seconds == 2.0
+
+    def test_unreported_merge_keeps_existing(self):
+        a = PerfCounters()
+        a.backend = "numba"
+        a.merge(PerfCounters())
+        assert a.backend == "numba"
+
+    def test_wire_omits_backend_until_stamped(self):
+        from repro.orchestrate.executor import _perf_from_wire, _perf_to_wire
+
+        perf = PerfCounters()
+        assert "backend" not in _perf_to_wire(perf)
+        perf.backend = "cnative"
+        wire = _perf_to_wire(perf)
+        assert wire["backend"] == "cnative"
+        assert _perf_from_wire(wire).backend == "cnative"
+
+
+# ----------------------------------------------------------------------
+# JobSpec wire stability
+# ----------------------------------------------------------------------
+class TestJobSpecBackend:
+    def _spec(self, **kwargs):
+        from repro.service.spec import InstanceSource, JobSpec
+
+        return JobSpec(
+            name="j",
+            instances=[
+                InstanceSource(kind="generate", label="g", cells=40, seed=1)
+            ],
+            engines=["flat-lifo"],
+            num_starts=2,
+            **kwargs,
+        )
+
+    def test_backend_omitted_from_wire_when_unset(self):
+        spec = self._spec()
+        assert "backend" not in spec.to_json()
+
+    def test_backend_roundtrips_and_changes_fingerprint(self):
+        from repro.service.spec import JobSpec
+
+        plain = self._spec()
+        tagged = self._spec(backend="cnative")
+        assert tagged.to_json()["backend"] == "cnative"
+        assert JobSpec.from_json(tagged.to_json()).backend == "cnative"
+        assert JobSpec.from_json(plain.to_json()).backend is None
+        assert plain.fingerprint() != tagged.fingerprint()
+        assert plain.fingerprint() == self._spec().fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Service plane: backend request never changes the record stream
+# ----------------------------------------------------------------------
+@pytest.mark.service
+class TestServicePlane:
+    def test_backend_job_matches_plain_job(self, tmp_path):
+        from repro.service.server import CampaignService
+
+        service = CampaignService(tmp_path / "svc", workers=2,
+                                  use_shared_memory=False)
+        try:
+            maker = TestJobSpecBackend()
+            plain = maker._spec()
+            # Request the best available backend — or numba, exercising
+            # the fallback path on installs without it.  Either way the
+            # stream must match the plain job bit for bit.
+            names = _available()
+            tagged = maker._spec(backend=names[-1] if names else "numba")
+            jid_plain = service.submit(plain)
+            jid_tagged = service.submit(tagged)
+            assert service.wait(jid_plain, timeout=120.0) == "done"
+            assert service.wait(jid_tagged, timeout=120.0) == "done"
+
+            def keys(jid):
+                from repro.orchestrate.store import RunStore
+
+                store = RunStore(service._records[jid].directory)
+                return [
+                    (o.trial, o.status, o.heuristic, o.instance, o.seed,
+                     o.cut, o.legal)
+                    for o in store.outcomes()
+                ]
+
+            assert keys(jid_tagged) == keys(jid_plain)
+        finally:
+            service.close()

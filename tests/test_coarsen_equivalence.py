@@ -346,3 +346,125 @@ class TestPartitionFast:
         for _ in range(50):
             part.move(rng.randrange(hg.num_vertices))
         part.check_consistency()
+
+
+# ----------------------------------------------------------------------
+# Registry-backend sweeps: coarsening kernels per backend
+# ----------------------------------------------------------------------
+from repro.backends import BACKEND_NAMES, get_backend  # noqa: E402
+
+#: Free clustering schemes by kernel (the backend sweep compares the
+#: production kernel against itself on another backend, so the frozen
+#: oracle column is not needed here).
+BACKEND_SCHEMES = [
+    (heavy_edge_matching, "heavy_edge"),
+    (first_choice_clustering, "first_choice"),
+    (hyperedge_coarsening, "hyperedge"),
+]
+
+
+def _available_backends():
+    return [
+        name
+        for name in BACKEND_NAMES
+        if name != "numpy" and get_backend(name).available
+    ]
+
+
+def assert_backend_matching_equivalent(hg, kernel, backend, rng_seed=0,
+                                       **kwargs):
+    """Same cluster map, same RNG stream, same contracted hypergraph."""
+    rng_ref = random.Random(rng_seed)
+    rng_b = random.Random(rng_seed)
+    cluster_ref = kernel(hg, rng_ref, backend="numpy", **kwargs)
+    cluster_b = kernel(hg, rng_b, backend=backend, **kwargs)
+    assert cluster_b == cluster_ref
+    assert rng_b.random() == rng_ref.random()
+    level_ref = coarsen(hg, cluster_ref, backend="numpy")
+    level_b = coarsen(hg, cluster_b, backend=backend)
+    assert level_b.cluster_of == level_ref.cluster_of
+    assert_same_hypergraph(level_b.coarse, level_ref.coarse)
+
+
+class TestBackendCoarsenSmoke:
+    """Tier-1 smoke: one circuit through every scheme per backend."""
+
+    @pytest.mark.parametrize("backend", _available_backends() or ["numpy"])
+    def test_schemes_bit_identical(self, backend):
+        if backend == "numpy":
+            pytest.skip("no non-numpy backend available on this install")
+        hg = generate_circuit(120, seed=9)
+        for kernel, _name in BACKEND_SCHEMES:
+            assert_backend_matching_equivalent(hg, kernel, backend)
+
+    @pytest.mark.parametrize("backend", _available_backends() or ["numpy"])
+    def test_restricted_matching_bit_identical(self, backend):
+        if backend == "numpy":
+            pytest.skip("no non-numpy backend available on this install")
+        hg = generate_circuit(120, seed=9)
+        bal = BalanceConstraint(hg.total_vertex_weight, 0.2)
+        part = Partition2.random_balanced(hg, bal, random.Random(7))
+        assignment = list(part.assignment)
+        rng_ref = random.Random(1)
+        rng_b = random.Random(1)
+        c_ref = restricted_matching(hg, assignment, rng_ref,
+                                    backend="numpy")
+        c_b = restricted_matching(hg, assignment, rng_b, backend=backend)
+        assert c_b == c_ref
+        assert rng_b.random() == rng_ref.random()
+
+
+@pytest.mark.backend
+class TestBackendCoarsenSweep:
+    """Full knob sweep per registered backend (``-m backend``)."""
+
+    @pytest.mark.parametrize(
+        "backend", [n for n in BACKEND_NAMES if n != "numpy"]
+    )
+    @pytest.mark.parametrize("kernel,name", BACKEND_SCHEMES)
+    @pytest.mark.parametrize("unit_areas", [False, True])
+    def test_schemes_with_knobs(self, backend, kernel, name, unit_areas):
+        info = get_backend(backend)
+        if not info.available:
+            pytest.skip(f"{backend}: {info.reason}")
+        hg = generate_circuit(150, seed=9, unit_areas=unit_areas)
+        total = hg.total_vertex_weight
+        for rng_seed in range(3):
+            assert_backend_matching_equivalent(hg, kernel, backend, rng_seed)
+            assert_backend_matching_equivalent(
+                hg, kernel, backend, rng_seed,
+                max_cluster_weight=total / 20.0, max_net_size=6,
+            )
+
+    @pytest.mark.parametrize(
+        "backend", [n for n in BACKEND_NAMES if n != "numpy"]
+    )
+    def test_fixed_vertices_and_hierarchy(self, backend):
+        info = get_backend(backend)
+        if not info.available:
+            pytest.skip(f"{backend}: {info.reason}")
+        hg = generate_circuit(150, seed=9)
+        rng = random.Random(5)
+        fixed_parts = [
+            rng.randint(0, 1) if rng.random() < 0.1 else None
+            for _ in range(hg.num_vertices)
+        ]
+        for rng_seed in range(3):
+            assert_backend_matching_equivalent(
+                hg, heavy_edge_matching, backend, rng_seed,
+                fixed_parts=fixed_parts,
+            )
+        # A full hierarchy: coarsen repeatedly until it stops shrinking.
+        cur_ref = cur_b = hg
+        for level in range(6):
+            rng_ref = random.Random(level)
+            rng_b = random.Random(level)
+            cl_ref = heavy_edge_matching(cur_ref, rng_ref, backend="numpy")
+            cl_b = heavy_edge_matching(cur_b, rng_b, backend=backend)
+            assert cl_b == cl_ref
+            coarse_ref = coarsen(cur_ref, cl_ref, backend="numpy").coarse
+            coarse_b = coarsen(cur_b, cl_b, backend=backend).coarse
+            assert_same_hypergraph(coarse_b, coarse_ref)
+            if coarse_ref.num_vertices == cur_ref.num_vertices:
+                break
+            cur_ref, cur_b = coarse_ref, coarse_b

@@ -171,3 +171,93 @@ class TestFrontierEquivalence:
         pts = [PerfPoint(cost=5.0, time=5.0, label=f"p{i}") for i in range(4)]
         assert non_dominated(pts) == _seed_eval.non_dominated(pts)
         assert len(non_dominated(pts)) == 4
+
+
+# ----------------------------------------------------------------------
+# Registry-backend sweeps: bootstrap kernel per backend
+# ----------------------------------------------------------------------
+import pytest  # noqa: E402
+
+from repro.backends import BACKEND_NAMES, get_backend  # noqa: E402
+from repro.evaluation.bsf import BootstrapKernel, shuffle_matrix  # noqa: E402
+
+TAUS = [0.0, 0.4, 1.0, 2.5, 100.0]
+
+
+def _available_backends():
+    return [
+        name
+        for name in BACKEND_NAMES
+        if name != "numpy" and get_backend(name).available
+    ]
+
+
+def make_records(n, seed):
+    rng = random.Random(seed)
+    return [
+        TrialRecord(
+            heuristic="h", instance="i", seed=i,
+            cut=float(rng.randint(0, 15)),
+            runtime_seconds=rng.choice([0.0, 0.25, 0.5, 1.0])
+            if rng.random() < 0.5 else rng.uniform(0.0, 3.0),
+            legal=True,
+        )
+        for i in range(n)
+    ]
+
+
+def assert_backend_bootstrap_equivalent(records, num_shuffles, seed,
+                                        backend):
+    """Shuffle matrix, c_tau samples, means and reach probabilities all
+    bit-identical between the numpy kernel and ``backend``."""
+    ref = BootstrapKernel(records, num_shuffles, seed, backend="numpy")
+    k_b = BootstrapKernel(records, num_shuffles, seed, backend=backend)
+    n = len(records)
+    m_ref = shuffle_matrix(n, num_shuffles, seed, backend="numpy")
+    m_b = shuffle_matrix(n, num_shuffles, seed, backend=backend)
+    assert m_b.tolist() == m_ref.tolist()
+    for tau in TAUS:
+        assert k_b.c_tau_samples(tau) == ref.c_tau_samples(tau)
+        assert k_b.mean_c_tau(tau) == ref.mean_c_tau(tau)
+        for target in (0.0, 3.0, 8.0):
+            assert k_b.probability_reaching(tau, target) == \
+                ref.probability_reaching(tau, target)
+
+
+class TestBackendBootstrapSmoke:
+    """Tier-1 smoke: one pool per available backend."""
+
+    @pytest.mark.parametrize("backend", _available_backends() or ["numpy"])
+    def test_bootstrap_bit_identical(self, backend):
+        if backend == "numpy":
+            pytest.skip("no non-numpy backend available on this install")
+        records = make_records(40, seed=3)
+        assert_backend_bootstrap_equivalent(records, 50, seed=7,
+                                            backend=backend)
+
+
+@pytest.mark.backend
+class TestBackendBootstrapSweep:
+    """Degenerate-shape sweep per registered backend (``-m backend``)."""
+
+    @pytest.mark.parametrize(
+        "backend", [n for n in BACKEND_NAMES if n != "numpy"]
+    )
+    def test_pool_shapes(self, backend):
+        info = get_backend(backend)
+        if not info.available:
+            pytest.skip(f"{backend}: {info.reason}")
+        # Single record, tied cuts, zero runtimes, larger mixed pool.
+        for records in (
+            make_records(1, seed=0),
+            [TrialRecord(heuristic="h", instance="i", seed=i, cut=4.0,
+                         runtime_seconds=0.0, legal=True)
+             for i in range(6)],
+            make_records(12, seed=1),
+            make_records(200, seed=2),
+        ):
+            for num_shuffles in (1, 17, 64):
+                for seed in (0, 9, 12345):
+                    assert_backend_bootstrap_equivalent(
+                        records, num_shuffles, seed, backend
+                    )

@@ -387,3 +387,124 @@ class TestPerfCountersSmoke:
         total.merge(r2.perf)
         assert total.passes == r1.passes + r2.passes
         assert len(total.pass_seconds) == total.passes
+
+
+# ----------------------------------------------------------------------
+# Registry-backend sweeps: every backend behind the same oracle chain
+# ----------------------------------------------------------------------
+from repro.backends import BACKEND_NAMES, get_backend  # noqa: E402
+
+
+def _available_backends():
+    """Non-numpy registry backends that activated on this install."""
+    return [
+        name
+        for name in BACKEND_NAMES
+        if name != "numpy" and get_backend(name).available
+    ]
+
+
+def assert_backend_equivalent(bal, cfg, base, backend, engine_seed=42):
+    """Refine copies of ``base`` on the interpreted numpy engine and on
+    ``backend``; compare move for move (the same contract the seed
+    oracle is held to, one link further down the chain)."""
+    p_ref = base.copy()
+    p_b = base.copy()
+    r_ref = FMEngine(
+        bal, cfg, random.Random(engine_seed), record_moves=True,
+        backend="numpy",
+    ).refine(p_ref)
+    eng = FMEngine(
+        bal, cfg, random.Random(engine_seed), record_moves=True,
+        backend=backend,
+    )
+    r_b = eng.refine(p_b)
+    assert eng._backend_name == backend, eng._backend_note
+    assert r_b.final_cut == r_ref.final_cut
+    assert r_b.initial_cut == r_ref.initial_cut
+    assert p_b.assignment == p_ref.assignment
+    assert r_b.passes == r_ref.passes
+    assert r_b.total_moves == r_ref.total_moves
+    assert r_b.stuck_passes == r_ref.stuck_passes
+    for sb, sr in zip(r_b.pass_stats, r_ref.pass_stats):
+        assert sb.move_log == sr.move_log
+        assert sb.moves_considered == sr.moves_considered
+        assert sb.moves_kept == sr.moves_kept
+        assert sb.cut_before == sr.cut_before
+        assert sb.cut_after == sr.cut_after
+        assert sb.stuck == sr.stuck
+    p_b.check_consistency()
+
+
+class TestBackendSmoke:
+    """Tier-1 backend smoke: flat + CLIP on every available backend.
+
+    Cheap (two short refinements per backend) so a numpy-only install
+    still exercises flatref, and a compiler-equipped one exercises the
+    compiled path on every tier-1 run.
+    """
+
+    @pytest.mark.parametrize("backend", _available_backends() or ["numpy"])
+    def test_flat_and_clip_bit_identical(self, backend):
+        hg = generate_circuit(90, seed=5)
+        bal = BalanceConstraint(hg.total_vertex_weight, 0.2)
+        base = Partition2.random_balanced(hg, bal, random.Random(3))
+        for clip in (False, True):
+            cfg = FMConfig(clip=clip, max_passes=2)
+            if backend == "numpy":  # numpy-only install: nothing to sweep
+                assert_equivalent(bal, cfg, base)
+            else:
+                assert_backend_equivalent(bal, cfg, base, backend)
+
+    def test_unavailable_backends_record_reasons(self):
+        """Every registered-but-unavailable backend carries a reason."""
+        for name in BACKEND_NAMES:
+            info = get_backend(name)
+            if not info.available:
+                assert info.reason
+
+
+@pytest.mark.backend
+class TestBackendConfigGrid:
+    """Full implicit-decision grid per registered backend (``-m
+    backend``; the smoke above keeps a slice in tier-1)."""
+
+    @pytest.mark.parametrize(
+        "backend", [n for n in BACKEND_NAMES if n != "numpy"]
+    )
+    @pytest.mark.parametrize("unit_areas", [False, True])
+    def test_all_combos(self, backend, unit_areas):
+        info = get_backend(backend)
+        if not info.available:
+            pytest.skip(f"{backend}: {info.reason}")
+        hg = generate_circuit(90, seed=5, unit_areas=unit_areas)
+        bal = BalanceConstraint(hg.total_vertex_weight, 0.2)
+        base = Partition2.random_balanced(hg, bal, random.Random(3))
+        for combo in ALL_COMBOS:
+            assert_backend_equivalent(bal, make_config(combo), base, backend)
+
+    @pytest.mark.parametrize(
+        "backend", [n for n in BACKEND_NAMES if n != "numpy"]
+    )
+    def test_fixed_vertices_and_tight_balance(self, backend):
+        info = get_backend(backend)
+        if not info.available:
+            pytest.skip(f"{backend}: {info.reason}")
+        hg = generate_circuit(120, seed=11, macro_fraction=0.05)
+        bal = BalanceConstraint(hg.total_vertex_weight, 0.02)
+        base = Partition2.random_balanced(hg, bal, random.Random(9))
+        for clip in (False, True):
+            cfg = FMConfig(clip=clip, max_passes=4)
+            assert_backend_equivalent(bal, cfg, base, backend)
+        hg = generate_circuit(80, seed=2)
+        bal = BalanceConstraint(hg.total_vertex_weight, 0.2)
+        rng = random.Random(4)
+        fixed_parts = [
+            rng.randint(0, 1) if rng.random() < 0.15 else None
+            for _ in range(hg.num_vertices)
+        ]
+        base = Partition2.random_balanced(hg, bal, rng, fixed_parts)
+        for clip in (False, True):
+            assert_backend_equivalent(
+                bal, FMConfig(clip=clip, max_passes=3), base, backend
+            )
